@@ -1,0 +1,108 @@
+"""Figure 6: cache organisation and placement trade-offs.
+
+Two parts:
+ * memory-optimised vs CPU-optimised vs unified dual cache -- entries held in
+   a fixed FM budget and CPU cost per million lookups;
+ * direct-DRAM placement budget sweep for an inferenceEval-style workload
+   (user batch == item batch), showing QPS improving as more of the hottest
+   tables are pinned in DRAM.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cache import CPUOptimizedCache, MemoryOptimizedCache, UnifiedCacheConfig, UnifiedRowCache
+from repro.core import PlacementPolicy, SDMConfig, SoftwareDefinedMemory
+from repro.dlrm import ComputeSpec, InferenceEngine, M2_SPEC, build_scaled_model
+from repro.serving import ServingSimulator
+from repro.sim.units import MIB
+from repro.workload import QueryGenerator, WorkloadConfig
+
+from _util import emit, run_once
+
+
+def _cache_organisation_rows():
+    budget = 1 * MIB
+    small_row = bytes(64)
+    large_row = bytes(320)
+    rows = []
+    for name, cache in (
+        ("memory-optimised", MemoryOptimizedCache(budget)),
+        ("cpu-optimised", CPUOptimizedCache(budget)),
+        ("unified dual cache", UnifiedRowCache(UnifiedCacheConfig(capacity_bytes=budget))),
+    ):
+        for index in range(16_000):
+            cache.put(("small", index), small_row)
+        for index in range(1_000):
+            cache.put(("large", index), large_row)
+        for index in range(5_000):
+            if isinstance(cache, UnifiedRowCache):
+                cache.get(("small", index), size_hint=64)
+            else:
+                cache.get(("small", index))
+        stats = cache.stats
+        rows.append([name, cache.item_count, stats.cpu_seconds * 1e6])
+    return rows
+
+
+def _placement_sweep_rows():
+    model = build_scaled_model(
+        M2_SPEC, max_tables_per_group=4, max_rows_per_table=1024, item_batch=4, seed=1
+    )
+    user_bytes = sum(t.size_bytes for t in model.tables.values() if t.spec.is_user)
+    rows = []
+    for label, budget_fraction in (("0% DRAM budget", 0.0), ("25%", 0.25), ("50%", 0.5)):
+        sdm = SoftwareDefinedMemory(
+            model,
+            SDMConfig(
+                placement_policy=PlacementPolicy.FIXED_FM_SM,
+                dram_budget_bytes=int(user_bytes * budget_fraction),
+                row_cache_capacity_bytes=256 * 1024,
+                pooled_cache_enabled=False,
+            ),
+        )
+        engine = InferenceEngine(model, ComputeSpec(), sdm)
+        # inferenceEval: user batch == item batch (> 1), more placement
+        # sensitive than inference per the paper.
+        queries = QueryGenerator(
+            model, WorkloadConfig(item_batch=4, num_users=300), seed=2
+        ).generate(60)
+        result = ServingSimulator(engine).run(queries, warmup_queries=10)
+        rows.append([label, result.achieved_qps, result.mean_latency * 1e6])
+    return rows
+
+
+def build_figure6():
+    return {
+        "organisation": _cache_organisation_rows(),
+        "placement": _placement_sweep_rows(),
+    }
+
+
+def bench_fig6_cache_organization(benchmark):
+    data = run_once(benchmark, build_figure6)
+    emit(
+        "Figure 6 (top): cache organisation comparison (2 MiB FM budget)",
+        format_table(
+            ["organisation", "entries held", "CPU cost of 5k lookups (us)"],
+            data["organisation"],
+            float_fmt=".1f",
+        ),
+    )
+    emit(
+        "Figure 6 (bottom): direct DRAM placement budget vs QPS (inferenceEval)",
+        format_table(
+            ["DRAM budget", "achieved QPS", "mean latency (us)"],
+            data["placement"],
+            float_fmt=".1f",
+        ),
+    )
+    organisation = {row[0]: row for row in data["organisation"]}
+    # Memory-optimised holds more small rows; CPU-optimised burns less CPU.
+    assert organisation["memory-optimised"][1] > organisation["cpu-optimised"][1]
+    assert organisation["cpu-optimised"][2] < organisation["memory-optimised"][2]
+    # The unified cache sits between the two extremes on capacity.
+    assert organisation["unified dual cache"][1] >= organisation["cpu-optimised"][1]
+    # More DRAM budget never hurts QPS.
+    placement_qps = [row[1] for row in data["placement"]]
+    assert placement_qps[-1] >= placement_qps[0] * 0.95

@@ -1,0 +1,106 @@
+"""Deployment power study: reproduce the paper's three serving scenarios.
+
+Walks through the fleet-level accounting of sections 5.1-5.3:
+
+* M1 -- replace dual-socket DRAM-only hosts (HW-L) with single-socket hosts
+  plus Nand Flash (HW-SS + SDM): ~20% fleet power saving (Table 8).
+* M2 -- avoid scale-out with Optane SSDs (HW-AO + SDM): ~5% saving and a
+  simpler serving paradigm (Table 9).
+* M3 -- multi-tenancy on a future accelerator platform (HW-FAO + SDM): up to
+  ~29% better fleet power per unit of work (Tables 10 and 11).
+
+Run with:  python examples/power_study.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import format_table
+from repro.serving import (
+    DeploymentScenario,
+    HW_AN,
+    HW_AO,
+    HW_FA,
+    HW_FAO,
+    HW_L,
+    HW_S,
+    HW_SS,
+    MultiTenancyScenario,
+    PowerModel,
+    plan_deployment,
+    sm_bound_qps,
+    ssds_needed,
+)
+from repro.serving.multitenancy import compare_multi_tenancy
+from repro.serving.power import power_saving
+from repro.sim.units import GB, MICROSECOND
+from repro.storage import nand_flash_spec, optane_ssd_spec
+
+
+def m1_study(power_model: PowerModel) -> None:
+    total_qps = 240 * 1200
+    baseline = plan_deployment(DeploymentScenario("HW-L", HW_L, 240, total_qps), power_model)
+    sdm = plan_deployment(DeploymentScenario("HW-SS + SDM", HW_SS, 120, total_qps), power_model)
+    rows = [
+        ["HW-L (DRAM only)", 240, baseline.num_hosts, baseline.total_power],
+        ["HW-SS + SDM (Nand Flash)", 120, sdm.num_hosts, sdm.total_power],
+    ]
+    print(format_table(["scenario", "QPS/host", "hosts", "total power"], rows,
+                       title="M1: simpler hardware (Table 8)", float_fmt=".0f"))
+    print(f"fleet power saving: {power_saving(baseline.total_power, sdm.total_power):.0%}\n")
+
+
+def m2_study(power_model: PowerModel) -> None:
+    total_qps = 450 * 1500
+    lookups = 450 * 25
+    budget = 100 * MICROSECOND
+    nand_qps = min(sm_bound_qps(lookups, [nand_flash_spec(1e12)] * 2, 0.9, budget), 450)
+    scale_out = plan_deployment(
+        DeploymentScenario("scale-out", HW_AN, 450, total_qps, helper_platform=HW_S,
+                           helper_hosts_per_host=0.2),
+        power_model,
+    )
+    nand = plan_deployment(DeploymentScenario("nand", HW_AN, nand_qps, total_qps), power_model)
+    optane = plan_deployment(DeploymentScenario("optane", HW_AO, 450, total_qps), power_model)
+    rows = [
+        ["HW-AN + ScaleOut", 450, scale_out.total_hosts, scale_out.total_power],
+        ["HW-AN + SDM (Nand)", round(nand_qps), nand.total_hosts, nand.total_power],
+        ["HW-AO + SDM (Optane)", 450, optane.total_hosts, optane.total_power],
+    ]
+    print(format_table(["scenario", "QPS/host", "hosts", "total power"], rows,
+                       title="M2: avoiding scale-out (Table 9)", float_fmt=".0f"))
+    print(f"power saving vs scale-out: {power_saving(scale_out.total_power, optane.total_power):.1%}\n")
+
+
+def m3_study(power_model: PowerModel) -> None:
+    required_iops = 3150 * 2000 * 30 * (1 - 0.80)
+    num_ssds = ssds_needed(required_iops, optane_ssd_spec())
+    print(f"M3 sizing (Table 10): {required_iops / 1e6:.1f} MIOPS -> {num_ssds} Optane SSDs")
+
+    baseline = MultiTenancyScenario(HW_FA, model_dram_bytes=160 * GB, model_sm_bytes=0,
+                                    model_compute_fraction=0.225, use_sdm=False)
+    with_sdm = MultiTenancyScenario(HW_FAO, model_dram_bytes=20 * GB, model_sm_bytes=140 * GB,
+                                    model_compute_fraction=0.225, use_sdm=True)
+    base_result, sdm_result = compare_multi_tenancy(baseline, with_sdm, power_model)
+    rows = [
+        ["HW-FA", HW_FA.power_with_ssds, base_result.utilisation, 1.0],
+        ["HW-FAO + SDM", HW_FAO.power_with_ssds, sdm_result.utilisation,
+         sdm_result.fleet_power_per_work / base_result.fleet_power_per_work],
+    ]
+    print(format_table(["scenario", "host power", "utilisation", "fleet power"], rows,
+                       title="M3: multi-tenancy (Table 11)", float_fmt=".2f"))
+    saving = 1 - sdm_result.fleet_power_per_work / base_result.fleet_power_per_work
+    print(f"fleet power-per-work saving: {saving:.0%}")
+
+
+def main() -> None:
+    power_model = PowerModel()
+    m1_study(power_model)
+    m2_study(power_model)
+    m3_study(power_model)
+
+
+if __name__ == "__main__":
+    main()

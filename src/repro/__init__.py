@@ -1,0 +1,37 @@
+"""repro -- Software Defined Memory for massive DLRM inference.
+
+A faithful, laptop-scale reproduction of "Supporting Massive DLRM Inference
+through Software Defined Memory" (ICDCS 2022).  The package is organised as:
+
+* :mod:`repro.sim` -- simulated clock, discrete events, units, RNG.
+* :mod:`repro.storage` -- slow-memory device models (Table 1), io_uring-like
+  engine, sub-block (SGL) reads, block layout, endurance.
+* :mod:`repro.cache` -- the CacheLib-like unified row cache (memory- vs
+  CPU-optimised organisations).
+* :mod:`repro.dlrm` -- the DLRM substrate: quantised embedding tables,
+  pruning, MLPs, model configs (Table 6) and the inference engine.
+* :mod:`repro.core` -- the SDM stack itself: placement, bandwidth analysis,
+  pooled embedding cache, de-pruning/de-quantisation, warmup, model update,
+  auto-tuning and the :class:`~repro.core.sdm.SoftwareDefinedMemory` backend.
+* :mod:`repro.workload` -- synthetic query/trace generation and locality
+  analysis (Figures 4 and 5).
+* :mod:`repro.serving` -- platforms (Table 7), power/capacity planning
+  (Eq. 5-7), scale-out, multi-tenancy, host-level serving simulation.
+* :mod:`repro.analysis` -- metrics and report formatting.
+
+Quickstart::
+
+    from repro.core import SDMConfig, SoftwareDefinedMemory
+    from repro.dlrm import M1_SPEC, build_scaled_model, ComputeSpec, InferenceEngine
+    from repro.workload import QueryGenerator
+
+    model = build_scaled_model(M1_SPEC, item_batch=8)
+    sdm = SoftwareDefinedMemory(model, SDMConfig())
+    engine = InferenceEngine(model, ComputeSpec(), user_backend=sdm)
+    queries = QueryGenerator(model).generate(100)
+    results = engine.run_queries(queries)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,13 @@
+"""Metric collection and report formatting shared by tests, examples and benches."""
+
+from repro.analysis.metrics import Histogram, MetricRegistry, RunningStat, percentile
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "Histogram",
+    "MetricRegistry",
+    "RunningStat",
+    "percentile",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,70 @@
+"""Plain-text table and series formatting used by the benchmark harnesses.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and easy to diff against
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(value: Cell, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    float_fmt: str = ".3f",
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.0]]))
+    a | b
+    --+------
+    1 | 2.000
+    """
+    rendered_rows: List[List[str]] = [
+        [_render_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers: {row}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Mapping[Cell, Cell] | Sequence[tuple],
+    x_label: str = "x",
+    y_label: str = "y",
+    float_fmt: str = ".3f",
+) -> str:
+    """Render a named (x, y) series as a two column table (figure data)."""
+    if isinstance(points, Mapping):
+        pairs = list(points.items())
+    else:
+        pairs = list(points)
+    return format_table([x_label, y_label], pairs, title=name, float_fmt=float_fmt)

@@ -1,0 +1,54 @@
+"""Cache admission policies.
+
+The paper relies on LRU with admit-on-miss; these policies exist for the
+ablation benchmarks (e.g. showing that de-pruned zero rows pollute the cache
+only mildly because they are rarely re-referenced) and for tuning studies.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cache.base import CacheKey
+from repro.sim.rng import make_rng
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides whether a missed value should be inserted into the cache."""
+
+    @abc.abstractmethod
+    def admit(self, key: CacheKey, value: bytes) -> bool:
+        """Return ``True`` to insert the value after a miss."""
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """Admit every miss (the default behaviour in the paper)."""
+
+    def admit(self, key: CacheKey, value: bytes) -> bool:
+        return True
+
+
+class ProbabilisticAdmission(AdmissionPolicy):
+    """Admit a miss with fixed probability (a cheap scan-resistance knob)."""
+
+    def __init__(self, probability: float, seed: int = 0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1]: {probability}")
+        self.probability = probability
+        self._rng = make_rng(seed, "admission")
+
+    def admit(self, key: CacheKey, value: bytes) -> bool:
+        return bool(self._rng.random() < self.probability)
+
+
+class SizeThresholdAdmission(AdmissionPolicy):
+    """Reject values larger than a threshold (protects the cache from the
+    small-but-growing set of very wide embedding rows)."""
+
+    def __init__(self, max_value_bytes: int) -> None:
+        if max_value_bytes <= 0:
+            raise ValueError(f"max_value_bytes must be positive: {max_value_bytes}")
+        self.max_value_bytes = max_value_bytes
+
+    def admit(self, key: CacheKey, value: bytes) -> bool:
+        return len(value) <= self.max_value_bytes

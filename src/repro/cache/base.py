@@ -1,0 +1,92 @@
+"""Common cache interface and statistics."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+CacheKey = Hashable
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters plus CPU-time accounting.
+
+    ``cpu_seconds`` accumulates the modelled host CPU cost of lookups and
+    inserts, which is what differentiates the memory-optimised and
+    CPU-optimised organisations in Figure 6 of the paper.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    rejected_inserts: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        self.hits += other.hits
+        self.misses += other.misses
+        self.inserts += other.inserts
+        self.evictions += other.evictions
+        self.rejected_inserts += other.rejected_inserts
+        self.cpu_seconds += other.cpu_seconds
+        return self
+
+
+class RowCache(abc.ABC):
+    """Byte-budgeted key/value cache for embedding rows."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+
+    @abc.abstractmethod
+    def get(self, key: CacheKey) -> Optional[bytes]:
+        """Return the cached value or ``None``; records a hit or miss."""
+
+    @abc.abstractmethod
+    def put(self, key: CacheKey, value: bytes) -> bool:
+        """Insert a value, evicting as needed.  Returns ``False`` if rejected."""
+
+    @abc.abstractmethod
+    def contains(self, key: CacheKey) -> bool:
+        """Membership test without recording a hit/miss or touching LRU order."""
+
+    @abc.abstractmethod
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one entry (used during model update).  Returns whether present."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop all entries (full model update / cold start)."""
+
+    @property
+    @abc.abstractmethod
+    def used_bytes(self) -> int:
+        """Bytes currently consumed, including per-item metadata overhead."""
+
+    @property
+    @abc.abstractmethod
+    def item_count(self) -> int:
+        """Number of cached entries."""
+
+    @property
+    def occupancy(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

@@ -1,0 +1,112 @@
+"""Byte-budgeted LRU cache.
+
+This is the core eviction machinery shared by the memory-optimised and
+CPU-optimised cache organisations; the two differ only in per-item metadata
+overhead and per-lookup CPU cost (see their modules).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cache.base import CacheKey, RowCache
+
+
+class LRUCache(RowCache):
+    """Least-recently-used cache with a byte capacity.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total byte budget, including ``per_item_overhead_bytes`` for each
+        cached entry.
+    per_item_overhead_bytes:
+        Metadata bytes charged per entry (hash table slot, LRU links,
+        key storage).
+    lookup_cpu_seconds / insert_cpu_seconds:
+        Modelled host CPU time per operation, accumulated into ``stats``.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        per_item_overhead_bytes: int = 32,
+        lookup_cpu_seconds: float = 2.0e-7,
+        insert_cpu_seconds: float = 4.0e-7,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if per_item_overhead_bytes < 0:
+            raise ValueError(
+                f"per_item_overhead_bytes must be non-negative: {per_item_overhead_bytes}"
+            )
+        self.per_item_overhead_bytes = per_item_overhead_bytes
+        self.lookup_cpu_seconds = lookup_cpu_seconds
+        self.insert_cpu_seconds = insert_cpu_seconds
+        self._entries: "OrderedDict[CacheKey, bytes]" = OrderedDict()
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------- internals
+    def _entry_size(self, value: bytes) -> int:
+        return len(value) + self.per_item_overhead_bytes
+
+    def _evict_until_fits(self, needed: int) -> None:
+        while self._entries and self._used_bytes + needed > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._used_bytes -= self._entry_size(evicted)
+            self.stats.evictions += 1
+
+    def _charge_lookup(self) -> None:
+        self.stats.cpu_seconds += self.lookup_cpu_seconds
+
+    # ------------------------------------------------------------------ API
+    def get(self, key: CacheKey) -> Optional[bytes]:
+        self._charge_lookup()
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: CacheKey, value: bytes) -> bool:
+        self.stats.cpu_seconds += self.insert_cpu_seconds
+        size = self._entry_size(value)
+        if size > self.capacity_bytes:
+            self.stats.rejected_inserts += 1
+            return False
+        if key in self._entries:
+            self._used_bytes -= self._entry_size(self._entries[key])
+            del self._entries[key]
+        self._evict_until_fits(size)
+        self._entries[key] = value
+        self._used_bytes += size
+        self.stats.inserts += 1
+        return True
+
+    def contains(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def invalidate(self, key: CacheKey) -> bool:
+        value = self._entries.pop(key, None)
+        if value is None:
+            return False
+        self._used_bytes -= self._entry_size(value)
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def item_count(self) -> int:
+        return len(self._entries)
+
+    def keys(self):
+        """Iterate keys from least to most recently used (for inspection)."""
+        return iter(self._entries.keys())

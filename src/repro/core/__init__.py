@@ -1,0 +1,72 @@
+"""Software Defined Memory (SDM) -- the paper's primary contribution.
+
+Ties the substrates together: embedding tables whose bandwidth demand is low
+(user tables) are placed on simulated Storage Class Memory devices, a
+software-managed row cache in fast memory captures the hot rows, a pooled
+embedding cache short-circuits repeated full index sequences, and placement /
+de-pruning / de-quantisation policies trade cheap SM capacity for FM space
+and CPU work.  :class:`~repro.core.sdm.SoftwareDefinedMemory` implements the
+:class:`~repro.dlrm.inference.EmbeddingBackend` interface, so any
+:class:`~repro.dlrm.inference.InferenceEngine` can serve a model through it.
+"""
+
+from repro.core.config import AccessPathKind, SDMConfig
+from repro.core.bandwidth import (
+    BandwidthRequirement,
+    bytes_per_query,
+    bandwidth_requirement,
+    iops_requirement,
+    sm_time_budget,
+    table_bandwidth_summary,
+)
+from repro.core.placement import (
+    Placement,
+    PlacementPolicy,
+    TablePlacement,
+    Tier,
+    compute_placement,
+)
+from repro.core.pooled_cache import (
+    PooledEmbeddingCache,
+    PooledCacheStats,
+    order_invariant_hash,
+    profile_subsequence_schemes,
+)
+from repro.core.depruning import DepruneResult, deprune_table
+from repro.core.dequantization import DequantizedTable, dequantize_table
+from repro.core.warmup import warmup_capacity_overhead, warmup_hit_rate_curve
+from repro.core.model_update import ModelUpdatePlanner, UpdateStrategy
+from repro.core.sdm import SDMStats, SoftwareDefinedMemory
+from repro.core.autotune import AutoTuner, TuningResult
+
+__all__ = [
+    "SDMConfig",
+    "AccessPathKind",
+    "BandwidthRequirement",
+    "bytes_per_query",
+    "bandwidth_requirement",
+    "iops_requirement",
+    "sm_time_budget",
+    "table_bandwidth_summary",
+    "Placement",
+    "PlacementPolicy",
+    "TablePlacement",
+    "Tier",
+    "compute_placement",
+    "PooledEmbeddingCache",
+    "PooledCacheStats",
+    "order_invariant_hash",
+    "profile_subsequence_schemes",
+    "DepruneResult",
+    "deprune_table",
+    "DequantizedTable",
+    "dequantize_table",
+    "warmup_capacity_overhead",
+    "warmup_hit_rate_curve",
+    "ModelUpdatePlanner",
+    "UpdateStrategy",
+    "SoftwareDefinedMemory",
+    "SDMStats",
+    "AutoTuner",
+    "TuningResult",
+]

@@ -1,0 +1,73 @@
+"""Serving-configuration auto-tuning.
+
+The paper exposes several Tuning APIs (cache sizes, outstanding IOs, DRAM
+budget, LenThreshold) and notes that the desired serving configuration is
+decided at model deployment time, e.g. through an auto-tuning tool.  This
+module provides that tool: a deterministic grid search over
+:class:`~repro.core.config.SDMConfig` overrides driven by a user-supplied
+evaluation function (typically measured QPS at a latency target, or measured
+p95 latency).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.config import SDMConfig
+
+#: An evaluation returns a score; higher is better.
+EvaluationFn = Callable[[SDMConfig], float]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """One evaluated configuration."""
+
+    overrides: Dict[str, object]
+    config: SDMConfig
+    score: float
+
+
+@dataclass
+class AutoTuner:
+    """Grid search over SDMConfig overrides.
+
+    ``search_space`` maps field names of :class:`SDMConfig` to the candidate
+    values to try; every combination is evaluated.
+    """
+
+    base_config: SDMConfig
+    search_space: Mapping[str, Sequence[object]]
+    evaluate: EvaluationFn
+
+    def __post_init__(self) -> None:
+        if not self.search_space:
+            raise ValueError("search_space must contain at least one parameter")
+        for name, values in self.search_space.items():
+            if not hasattr(self.base_config, name):
+                raise ValueError(f"SDMConfig has no field {name!r}")
+            if not values:
+                raise ValueError(f"search_space[{name!r}] has no candidate values")
+
+    def candidates(self) -> List[Dict[str, object]]:
+        """All override combinations, in deterministic order."""
+        names = sorted(self.search_space)
+        combos = itertools.product(*(self.search_space[name] for name in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def run(self) -> List[TuningResult]:
+        """Evaluate every candidate; results are sorted best-first."""
+        results: List[TuningResult] = []
+        for overrides in self.candidates():
+            config = self.base_config.with_overrides(**overrides)
+            score = self.evaluate(config)
+            results.append(TuningResult(overrides=overrides, config=config, score=score))
+        results.sort(key=lambda result: result.score, reverse=True)
+        return results
+
+    def best(self) -> TuningResult:
+        """Run the search and return the best configuration."""
+        results = self.run()
+        return results[0]

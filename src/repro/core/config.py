@@ -1,0 +1,117 @@
+"""Configuration (Tuning API) of the Software Defined Memory stack.
+
+Every knob the paper exposes as a "Tuning API" is a field here: cache sizes
+and partition counts (section 4.3), the pooled-embedding-cache length
+threshold (4.4), outstanding-IO limits (4.1), placement policy and DRAM
+budget (4.6), de-pruning / de-quantisation at load time (4.5, A.5), the
+access path (DIRECT-IO vs mmap) and inter-op parallelism (A.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.placement import PlacementPolicy
+from repro.sim.units import GIB, MIB
+from repro.storage.io_engine import IOEngineConfig
+from repro.storage.spec import Technology
+
+
+class AccessPathKind(str, enum.Enum):
+    """How the application reads SM data (section 4.1)."""
+
+    DIRECT_IO = "direct_io"
+    MMAP = "mmap"
+
+
+@dataclass(frozen=True)
+class SDMConfig:
+    """Tuning parameters of one SDM deployment on one host.
+
+    Attributes
+    ----------
+    device_technology / num_devices / device_capacity_bytes:
+        The SM devices attached to the host (e.g. 2x 2 TB Nand Flash on
+        HW-SS, 2x 400 GB Optane on HW-AO).
+    row_cache_capacity_bytes:
+        FM byte budget of the unified row cache.
+    memory_optimized_fraction / small_row_threshold_bytes / num_cache_partitions:
+        Unified-cache organisation knobs (section 4.3).
+    pooled_cache_enabled / pooled_cache_capacity_bytes / pooled_len_threshold:
+        Pooled embedding cache (section 4.4, Algorithm 1).  ``pooled_len_threshold``
+        is the paper's ``LenThreshold``: only requests with more indices are
+        considered for pooled caching.
+    placement_policy / dram_budget_bytes / pinned_fm_tables:
+        Placement strategy (section 4.6, Table 5).  ``pinned_fm_tables`` is the
+        "list of tables which should not be placed in SM" Tuning API.
+    cache_disable_alpha_threshold:
+        For the PER_TABLE_CACHE policy: tables whose access-skew alpha is
+        below this get the row cache disabled (low temporal locality).
+    io:
+        io_uring engine configuration (section 4.1).
+    access_path:
+        DIRECT-IO with an application cache (the paper's choice) or mmap.
+    inter_op_parallelism:
+        Overlap the IO of different embedding operators (appendix A.2).
+    deprune_at_load / dequantize_at_load:
+        SM-vs-FM capacity trade-offs (section 4.5 and appendix A.5).
+    """
+
+    device_technology: Technology = Technology.NAND_FLASH
+    num_devices: int = 2
+    device_capacity_bytes: Optional[int] = None
+
+    row_cache_capacity_bytes: int = 8 * MIB
+    memory_optimized_fraction: float = 0.8
+    small_row_threshold_bytes: int = 255
+    num_cache_partitions: int = 1
+
+    pooled_cache_enabled: bool = True
+    pooled_cache_capacity_bytes: int = 4 * MIB
+    pooled_len_threshold: int = 1
+
+    placement_policy: PlacementPolicy = PlacementPolicy.SM_ONLY_WITH_CACHE
+    dram_budget_bytes: int = 0
+    pinned_fm_tables: Tuple[str, ...] = ()
+    cache_disable_alpha_threshold: float = 0.6
+
+    io: IOEngineConfig = field(default_factory=IOEngineConfig)
+    access_path: AccessPathKind = AccessPathKind.DIRECT_IO
+    inter_op_parallelism: bool = True
+
+    deprune_at_load: bool = False
+    dequantize_at_load: bool = False
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0:
+            raise ValueError(f"num_devices must be positive: {self.num_devices}")
+        if self.device_capacity_bytes is not None and self.device_capacity_bytes <= 0:
+            raise ValueError(
+                f"device_capacity_bytes must be positive: {self.device_capacity_bytes}"
+            )
+        if self.row_cache_capacity_bytes <= 0:
+            raise ValueError(
+                f"row_cache_capacity_bytes must be positive: {self.row_cache_capacity_bytes}"
+            )
+        if not 0.0 < self.memory_optimized_fraction < 1.0:
+            raise ValueError(
+                f"memory_optimized_fraction must be in (0, 1): {self.memory_optimized_fraction}"
+            )
+        if self.pooled_cache_capacity_bytes <= 0:
+            raise ValueError(
+                f"pooled_cache_capacity_bytes must be positive: {self.pooled_cache_capacity_bytes}"
+            )
+        if self.pooled_len_threshold < 0:
+            raise ValueError(
+                f"pooled_len_threshold must be non-negative: {self.pooled_len_threshold}"
+            )
+        if self.dram_budget_bytes < 0:
+            raise ValueError(f"dram_budget_bytes must be non-negative: {self.dram_budget_bytes}")
+
+    def with_overrides(self, **kwargs) -> "SDMConfig":
+        """Return a copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **kwargs)

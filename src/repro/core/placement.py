@@ -1,0 +1,153 @@
+"""Table placement across the memory tiers (section 4.6, Table 5).
+
+Three strategies are implemented:
+
+* ``SM_ONLY_WITH_CACHE`` -- every user table goes to SM and relies on the FM
+  row cache for hot rows (performs well across the board per the paper).
+* ``FIXED_FM_SM`` -- a configurable DRAM budget is spent pinning the tables
+  with the highest bandwidth density (bytes/query per byte of capacity)
+  directly in FM; the rest go to SM with the cache.
+* ``PER_TABLE_CACHE`` -- like SM-only, but tables with low temporal locality
+  do not use the row cache at all (caching them only pollutes it).
+
+Item tables always stay in fast memory (or accelerator memory): the paper
+places only user embeddings on the slow tier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dlrm.embedding import EmbeddingTableSpec
+
+
+class Tier(str, enum.Enum):
+    """Where a table's rows live."""
+
+    FM_DIRECT = "fm_direct"
+    SM = "sm"
+
+
+class PlacementPolicy(str, enum.Enum):
+    """Placement strategies from Table 5 of the paper."""
+
+    SM_ONLY_WITH_CACHE = "sm_only_with_cache"
+    FIXED_FM_SM = "fixed_fm_sm"
+    PER_TABLE_CACHE = "per_table_cache"
+
+
+@dataclass(frozen=True)
+class TablePlacement:
+    """Placement decision for one table."""
+
+    table_name: str
+    tier: Tier
+    cache_enabled: bool
+
+
+@dataclass
+class Placement:
+    """The full placement decision for a model."""
+
+    decisions: Dict[str, TablePlacement] = field(default_factory=dict)
+
+    def add(self, decision: TablePlacement) -> None:
+        if decision.table_name in self.decisions:
+            raise ValueError(f"table {decision.table_name!r} already has a placement")
+        self.decisions[decision.table_name] = decision
+
+    def for_table(self, table_name: str) -> TablePlacement:
+        if table_name not in self.decisions:
+            raise KeyError(f"no placement decision for table {table_name!r}")
+        return self.decisions[table_name]
+
+    def tier_of(self, table_name: str) -> Tier:
+        return self.for_table(table_name).tier
+
+    def tables_on(self, tier: Tier) -> List[str]:
+        return [name for name, d in self.decisions.items() if d.tier is tier]
+
+    def sm_tables(self) -> List[str]:
+        return self.tables_on(Tier.SM)
+
+    def fm_tables(self) -> List[str]:
+        return self.tables_on(Tier.FM_DIRECT)
+
+    def fm_direct_bytes(self, specs: Dict[str, EmbeddingTableSpec]) -> int:
+        """FM consumed by directly placed tables."""
+        return sum(
+            specs[name].size_bytes
+            for name in self.fm_tables()
+            if name in specs
+        )
+
+    def sm_bytes(self, specs: Dict[str, EmbeddingTableSpec]) -> int:
+        """SM consumed by tables on the slow tier."""
+        return sum(
+            specs[name].size_bytes
+            for name in self.sm_tables()
+            if name in specs
+        )
+
+
+def _bandwidth_density(spec: EmbeddingTableSpec) -> float:
+    """Bytes/query per byte of capacity -- higher means more cache-worthy of FM."""
+    return spec.bytes_per_query / spec.size_bytes
+
+
+def compute_placement(
+    specs: Sequence[EmbeddingTableSpec],
+    policy: PlacementPolicy = PlacementPolicy.SM_ONLY_WITH_CACHE,
+    dram_budget_bytes: int = 0,
+    pinned_fm_tables: Iterable[str] = (),
+    cache_disable_alpha_threshold: float = 0.6,
+) -> Placement:
+    """Compute a placement for the given table specs.
+
+    ``pinned_fm_tables`` is the paper's Tuning API for an offline-computed
+    list of tables that must never go to SM; it is honoured by every policy
+    and does not count against ``dram_budget_bytes``.
+    """
+    policy = PlacementPolicy(policy)
+    pinned = set(pinned_fm_tables)
+    unknown = pinned - {spec.name for spec in specs}
+    if unknown:
+        raise ValueError(f"pinned tables not present in the model: {sorted(unknown)}")
+
+    placement = Placement()
+    user_specs = [s for s in specs if s.is_user]
+    item_specs = [s for s in specs if not s.is_user]
+
+    # Item tables (and anything explicitly pinned) stay in fast memory.
+    for spec in item_specs:
+        placement.add(TablePlacement(spec.name, Tier.FM_DIRECT, cache_enabled=False))
+    for spec in user_specs:
+        if spec.name in pinned:
+            placement.add(TablePlacement(spec.name, Tier.FM_DIRECT, cache_enabled=False))
+
+    remaining = [s for s in user_specs if s.name not in pinned]
+
+    if policy is PlacementPolicy.SM_ONLY_WITH_CACHE:
+        for spec in remaining:
+            placement.add(TablePlacement(spec.name, Tier.SM, cache_enabled=True))
+        return placement
+
+    if policy is PlacementPolicy.FIXED_FM_SM:
+        budget = dram_budget_bytes
+        # Spend the DRAM budget on the tables with the highest bandwidth
+        # density: they generate the most SM traffic per byte of capacity.
+        for spec in sorted(remaining, key=_bandwidth_density, reverse=True):
+            if spec.size_bytes <= budget:
+                placement.add(TablePlacement(spec.name, Tier.FM_DIRECT, cache_enabled=False))
+                budget -= spec.size_bytes
+            else:
+                placement.add(TablePlacement(spec.name, Tier.SM, cache_enabled=True))
+        return placement
+
+    # PER_TABLE_CACHE: everything on SM, but low-locality tables skip the cache.
+    for spec in remaining:
+        cache_enabled = spec.zipf_alpha >= cache_disable_alpha_threshold
+        placement.add(TablePlacement(spec.name, Tier.SM, cache_enabled=cache_enabled))
+    return placement

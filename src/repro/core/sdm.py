@@ -1,0 +1,429 @@
+"""The Software Defined Memory embedding backend.
+
+:class:`SoftwareDefinedMemory` places the model's user embedding tables on
+simulated SM devices according to a placement policy, serves row lookups
+through the unified FM row cache backed by an io_uring-style engine with
+sub-block reads, optionally short-circuits whole requests through the pooled
+embedding cache (Algorithm 1), and accounts for the fast-memory and CPU costs
+of every choice.  It implements :class:`~repro.dlrm.inference.EmbeddingBackend`,
+so an :class:`~repro.dlrm.inference.InferenceEngine` can serve queries through
+it and the end-to-end latency reflects whether the SM fetch is hidden behind
+the item-side work (Equation 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.unified import UnifiedCacheConfig, UnifiedRowCache
+from repro.core.config import AccessPathKind, SDMConfig
+from repro.core.depruning import deprune_table
+from repro.core.dequantization import DequantizedTable, dequantize_table
+from repro.core.placement import Placement, Tier, compute_placement
+from repro.core.pooled_cache import PooledEmbeddingCache
+from repro.dlrm.embedding import EmbeddingTable, EmbeddingTableSpec
+from repro.dlrm.inference import ComputeSpec, EmbeddingBackend
+from repro.dlrm.model import DLRMModel
+from repro.dlrm.pruning import PRUNED, PrunedEmbeddingTable
+from repro.dlrm.quantization import dequantize_rows
+from repro.sim.units import BLOCK_SIZE
+from repro.storage.access import DirectIOReader, MmapReader
+from repro.storage.block_layout import BlockLayout
+from repro.storage.device import DeviceStats, SimulatedDevice
+from repro.storage.io_engine import IOEngine
+from repro.storage.spec import DeviceSpec, TABLE1_SPECS
+
+#: Host CPU time per FM-resident mapping-tensor lookup (pruned tables).
+MAPPING_LOOKUP_SECONDS = 3.0e-8
+#: Host CPU time per row-cache probe added to the query's latency.
+CACHE_PROBE_SECONDS = 2.0e-7
+#: Host CPU time for a pooled-embedding-cache probe (hash + lookup).
+POOLED_PROBE_SECONDS = 5.0e-7
+
+
+@dataclass
+class _SMTable:
+    """Serving state of one table placed on the SM tier."""
+
+    spec: EmbeddingTableSpec
+    stored_rows: int
+    row_bytes: int
+    decode: Callable[[bytes], np.ndarray]
+    cache_enabled: bool
+    mapping: Optional[np.ndarray] = None
+    mapping_fm_bytes: int = 0
+    depruned: bool = False
+    dequantized: bool = False
+
+
+@dataclass
+class SDMStats:
+    """Cumulative serving statistics of one SDM instance."""
+
+    queries: int = 0
+    sm_table_requests: int = 0
+    sm_row_lookups: int = 0
+    sm_ios: int = 0
+    fm_direct_lookups: int = 0
+    pruned_rows_skipped: int = 0
+    pooled_cache_hits: int = 0
+    pooled_cache_lookups: int = 0
+    user_embedding_seconds: float = 0.0
+
+    @property
+    def ios_per_query(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.sm_ios / self.queries
+
+    @property
+    def sm_lookups_per_query(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.sm_row_lookups / self.queries
+
+
+class SoftwareDefinedMemory(EmbeddingBackend):
+    """Tiered-memory embedding backend (the paper's SDM stack)."""
+
+    def __init__(
+        self,
+        model: DLRMModel,
+        config: SDMConfig,
+        compute: Optional[ComputeSpec] = None,
+        placement: Optional[Placement] = None,
+        pruned_tables: Optional[Mapping[str, PrunedEmbeddingTable]] = None,
+        devices: Optional[Sequence[SimulatedDevice]] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.compute = compute if compute is not None else ComputeSpec()
+        self.pruned_tables = dict(pruned_tables) if pruned_tables else {}
+        unknown_pruned = set(self.pruned_tables) - set(model.tables)
+        if unknown_pruned:
+            raise ValueError(
+                f"pruned tables not present in the model: {sorted(unknown_pruned)}"
+            )
+
+        self.placement = (
+            placement
+            if placement is not None
+            else compute_placement(
+                model.table_specs,
+                policy=config.placement_policy,
+                dram_budget_bytes=config.dram_budget_bytes,
+                pinned_fm_tables=config.pinned_fm_tables,
+                cache_disable_alpha_threshold=config.cache_disable_alpha_threshold,
+            )
+        )
+
+        self.devices = list(devices) if devices is not None else self._build_devices()
+        self.layout = BlockLayout([d.spec.capacity_bytes for d in self.devices])
+        self.io_engine = IOEngine(self.devices, config.io)
+        if config.access_path is AccessPathKind.DIRECT_IO:
+            self.access_path = DirectIOReader(self.io_engine, self.layout)
+        else:
+            self.access_path = MmapReader(self.io_engine, self.layout)
+
+        self.row_cache = UnifiedRowCache(
+            UnifiedCacheConfig(
+                capacity_bytes=config.row_cache_capacity_bytes,
+                memory_optimized_fraction=config.memory_optimized_fraction,
+                small_row_threshold_bytes=config.small_row_threshold_bytes,
+                num_partitions=config.num_cache_partitions,
+            )
+        )
+        self.pooled_cache: Optional[PooledEmbeddingCache] = None
+        if config.pooled_cache_enabled:
+            self.pooled_cache = PooledEmbeddingCache(
+                config.pooled_cache_capacity_bytes,
+                len_threshold=config.pooled_len_threshold,
+            )
+
+        self.stats = SDMStats()
+        self._sm_tables: Dict[str, _SMTable] = {}
+        self._load_sm_tables()
+
+    # ------------------------------------------------------------------ setup
+    def _build_devices(self) -> List[SimulatedDevice]:
+        base_spec: DeviceSpec = TABLE1_SPECS[self.config.device_technology]
+        if self.config.device_capacity_bytes is not None:
+            base_spec = base_spec.with_capacity(self.config.device_capacity_bytes)
+        return [
+            SimulatedDevice(base_spec, seed=self.config.seed + index)
+            for index in range(self.config.num_devices)
+        ]
+
+    def _sm_source_for(self, table_name: str) -> _SMTable:
+        """Decide what bytes are stored on SM for one table."""
+        decision = self.placement.for_table(table_name)
+        spec = self.model.table(table_name).spec
+
+        if table_name in self.pruned_tables:
+            pruned = self.pruned_tables[table_name]
+            if self.config.deprune_at_load:
+                result = deprune_table(pruned)
+                table = result.table
+                return _SMTable(
+                    spec=table.spec,
+                    stored_rows=table.spec.num_rows,
+                    row_bytes=table.spec.row_bytes,
+                    decode=self._make_quantized_decoder(table.spec),
+                    cache_enabled=decision.cache_enabled,
+                    depruned=True,
+                )
+            return _SMTable(
+                spec=pruned.original_spec,
+                stored_rows=pruned.table.spec.num_rows,
+                row_bytes=pruned.table.spec.row_bytes,
+                decode=self._make_quantized_decoder(pruned.table.spec),
+                cache_enabled=decision.cache_enabled,
+                mapping=pruned.mapping,
+                mapping_fm_bytes=pruned.mapping_tensor_bytes,
+            )
+
+        if self.config.dequantize_at_load:
+            result = dequantize_table(self.model.table(table_name))
+            dequantized = result.table
+            return _SMTable(
+                spec=spec,
+                stored_rows=spec.num_rows,
+                row_bytes=dequantized.row_bytes,
+                decode=DequantizedTable.decode_row,
+                cache_enabled=decision.cache_enabled,
+                dequantized=True,
+            )
+
+        return _SMTable(
+            spec=spec,
+            stored_rows=spec.num_rows,
+            row_bytes=spec.row_bytes,
+            decode=self._make_quantized_decoder(spec),
+            cache_enabled=decision.cache_enabled,
+        )
+
+    @staticmethod
+    def _make_quantized_decoder(spec: EmbeddingTableSpec) -> Callable[[bytes], np.ndarray]:
+        dim, bits = spec.dim, spec.quant_bits
+
+        def decode(raw: bytes) -> np.ndarray:
+            rows = np.frombuffer(raw, dtype=np.uint8)[None, :]
+            return dequantize_rows(rows, dim, bits)[0]
+
+        return decode
+
+    def _row_source_bytes(self, table_name: str, state: _SMTable, stored_index: int) -> bytes:
+        """Serialized bytes of one stored row (used when loading to devices)."""
+        if state.dequantized:
+            table = self.model.table(table_name)
+            return table.lookup_dense([stored_index])[0].astype(np.float32).tobytes()
+        if table_name in self.pruned_tables:
+            pruned = self.pruned_tables[table_name]
+            if state.depruned:
+                if stored_index in self._depruned_cache[table_name]:
+                    return self._depruned_cache[table_name][stored_index]
+                return bytes(state.row_bytes)
+            return pruned.table.row_bytes_at(stored_index)
+        return self.model.table(table_name).row_bytes_at(stored_index)
+
+    def _load_sm_tables(self) -> None:
+        """Lay out and write every SM-placed table onto the devices."""
+        self._depruned_cache: Dict[str, Dict[int, bytes]] = {}
+        for table_name in self.placement.sm_tables():
+            if table_name not in self.model.tables:
+                raise KeyError(
+                    f"placement references table {table_name!r} that the model lacks"
+                )
+            state = self._sm_source_for(table_name)
+            if state.depruned:
+                pruned = self.pruned_tables[table_name]
+                live = np.nonzero(pruned.mapping != PRUNED)[0]
+                self._depruned_cache[table_name] = {
+                    int(unpruned_index): pruned.table.row_bytes_at(int(pruned.mapping[unpruned_index]))
+                    for unpruned_index in live
+                }
+            self._sm_tables[table_name] = state
+            self.layout.add_table(table_name, state.stored_rows, state.row_bytes)
+            self._write_table_to_devices(table_name, state)
+
+    def _write_table_to_devices(self, table_name: str, state: _SMTable) -> None:
+        extent = self.layout.extent(table_name)
+        device = self.devices[extent.device_index]
+        rows_per_block = extent.rows_per_block
+        for block_offset in range(extent.num_blocks):
+            buffer = bytearray(BLOCK_SIZE)
+            first_row = block_offset * rows_per_block
+            for slot in range(rows_per_block):
+                row_index = first_row + slot
+                if row_index >= state.stored_rows:
+                    break
+                row = self._row_source_bytes(table_name, state, row_index)
+                start = slot * state.row_bytes
+                buffer[start : start + len(row)] = row
+            device.write_block(extent.first_lba + block_offset, bytes(buffer))
+
+    # ------------------------------------------------------------ accounting
+    def fm_footprint_bytes(self) -> int:
+        """Fast memory consumed: direct tables, mapping tensors, caches."""
+        specs = {t.spec.name: t.spec for t in self.model.tables.values()}
+        direct = self.placement.fm_direct_bytes(specs)
+        mappings = sum(state.mapping_fm_bytes for state in self._sm_tables.values())
+        pooled = self.pooled_cache.capacity_bytes if self.pooled_cache else 0
+        access_path_fm = self.access_path.fm_footprint_bytes()
+        return direct + mappings + self.row_cache.capacity_bytes + pooled + access_path_fm
+
+    def sm_footprint_bytes(self) -> int:
+        """Slow memory consumed by the placed tables."""
+        return self.layout.total_allocated_bytes()
+
+    def device_stats(self) -> DeviceStats:
+        merged = DeviceStats()
+        for device in self.devices:
+            merged.merge(device.stats)
+        return merged
+
+    @property
+    def row_cache_hit_rate(self) -> float:
+        return self.row_cache.stats.hit_rate
+
+    @property
+    def pooled_cache_hit_rate(self) -> float:
+        if self.pooled_cache is None:
+            return 0.0
+        return self.pooled_cache.stats.hit_rate
+
+    def reset_stats(self) -> None:
+        self.stats = SDMStats()
+        self.row_cache.reset_stats()
+        if self.pooled_cache is not None:
+            self.pooled_cache.reset_stats()
+        self.io_engine.reset_stats()
+        for device in self.devices:
+            device.reset_stats()
+
+    def clear_caches(self) -> None:
+        """Drop cached rows and pooled vectors (cold start / full update)."""
+        self.row_cache.clear()
+        if self.pooled_cache is not None:
+            self.pooled_cache.clear()
+
+    # --------------------------------------------------------------- serving
+    def pooled_embeddings(
+        self,
+        requests: Mapping[str, Sequence[int]],
+        start_time: float,
+    ) -> Tuple[Dict[str, np.ndarray], float]:
+        results: Dict[str, np.ndarray] = {}
+        completion_times: List[float] = []
+        cursor = start_time
+        for table_name, indices in requests.items():
+            table_start = start_time if self.config.inter_op_parallelism else cursor
+            vector, done = self._pooled_one_table(table_name, list(indices), table_start)
+            results[table_name] = vector
+            completion_times.append(done)
+            cursor = done
+        if not completion_times:
+            return results, start_time
+        completion = max(completion_times) if self.config.inter_op_parallelism else cursor
+        self.stats.user_embedding_seconds += completion - start_time
+        return results, completion
+
+    def on_query_complete(self) -> None:
+        self.stats.queries += 1
+
+    # ------------------------------------------------------------- internals
+    def _pooled_one_table(
+        self, table_name: str, indices: List[int], start_time: float
+    ) -> Tuple[np.ndarray, float]:
+        if not indices:
+            raise ValueError(f"table {table_name!r}: request has no indices")
+        decision = self.placement.for_table(table_name)
+        if decision.tier is Tier.FM_DIRECT:
+            return self._serve_from_fm(table_name, indices, start_time)
+        return self._serve_from_sm(table_name, indices, start_time)
+
+    def _serve_from_fm(
+        self, table_name: str, indices: List[int], start_time: float
+    ) -> Tuple[np.ndarray, float]:
+        table = self.model.table(table_name)
+        vector = table.bag(indices)
+        elapsed = self.compute.embedding_read_time(len(indices), table.spec.row_bytes)
+        self.stats.fm_direct_lookups += len(indices)
+        return vector, start_time + elapsed
+
+    def _serve_from_sm(
+        self, table_name: str, indices: List[int], start_time: float
+    ) -> Tuple[np.ndarray, float]:
+        state = self._sm_tables[table_name]
+        self.stats.sm_table_requests += 1
+        self.stats.sm_row_lookups += len(indices)
+        cursor = start_time
+
+        # Algorithm 1: try the pooled embedding cache first.
+        if self.pooled_cache is not None and self.pooled_cache.eligible(indices):
+            cursor += POOLED_PROBE_SECONDS
+            self.stats.pooled_cache_lookups += 1
+            cached = self.pooled_cache.get(table_name, indices)
+            if cached is not None:
+                self.stats.pooled_cache_hits += 1
+                return cached, cursor
+
+        # Resolve the stored index of each requested (unpruned-space) index.
+        stored_indices: List[Optional[int]] = []
+        if state.mapping is not None:
+            cursor += len(indices) * MAPPING_LOOKUP_SECONDS
+            for index in indices:
+                mapped = int(state.mapping[index])
+                if mapped == PRUNED:
+                    stored_indices.append(None)
+                    self.stats.pruned_rows_skipped += 1
+                else:
+                    stored_indices.append(mapped)
+        else:
+            stored_indices = [int(index) for index in indices]
+
+        # Row cache probes.
+        row_bytes_by_position: Dict[int, bytes] = {}
+        missing_positions: List[int] = []
+        for position, stored in enumerate(stored_indices):
+            if stored is None:
+                continue
+            if state.cache_enabled:
+                cursor += CACHE_PROBE_SECONDS
+                cached_row = self.row_cache.get((table_name, stored), size_hint=state.row_bytes)
+                if cached_row is not None:
+                    row_bytes_by_position[position] = cached_row
+                    continue
+            missing_positions.append(position)
+
+        # IO phase for the misses.
+        if missing_positions:
+            missing_stored = [stored_indices[p] for p in missing_positions]
+            reads = self.access_path.read_rows(table_name, missing_stored, cursor)
+            io_done = max(read.completion_time for read in reads)
+            self.stats.sm_ios += len(reads)
+            for position, read in zip(missing_positions, reads):
+                row_bytes_by_position[position] = read.data
+                if state.cache_enabled:
+                    self.row_cache.put((table_name, stored_indices[position]), read.data)
+            cursor = max(cursor, io_done)
+
+        # Dequantise and pool in the original request order so results are
+        # bit-identical to the in-memory reference path.
+        rows = np.zeros((len(indices), state.spec.dim), dtype=np.float32)
+        fetched_bytes = 0
+        for position in range(len(indices)):
+            raw = row_bytes_by_position.get(position)
+            if raw is None:
+                continue  # pruned row contributes zeros
+            rows[position] = state.decode(raw)
+            fetched_bytes += len(raw)
+        pooled = rows.sum(axis=0)
+        cursor += fetched_bytes / self.compute.dequant_bytes_per_second
+
+        if self.pooled_cache is not None:
+            self.pooled_cache.put(table_name, indices, pooled)
+        return pooled, cursor

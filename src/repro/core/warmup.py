@@ -1,0 +1,69 @@
+"""Cache warmup after model updates (appendix A.4).
+
+After a full model update the SM row cache is cold and per-host performance
+drops until the hot rows are re-admitted (the paper observes warmup within a
+few minutes).  With rolling updates across a fleet, the transient slowdown is
+compensated by over-provisioning capacity:
+
+    extra_capacity = (r * w) / (p * t)
+
+where ``r`` is the fraction of hosts updating at a time, ``w`` the warmup
+duration, ``p`` the relative performance during warmup and ``t`` the update
+interval.  The paper's example (r=10%, w=5 min, p=50%, t=30 min) gives 1.2%.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+
+def warmup_capacity_overhead(
+    updating_fraction: float,
+    warmup_minutes: float,
+    warmup_performance: float,
+    update_interval_minutes: float,
+) -> float:
+    """Extra serving capacity needed to mask cache warmup during rolling updates."""
+    if not 0.0 < updating_fraction <= 1.0:
+        raise ValueError(f"updating_fraction must be in (0, 1]: {updating_fraction}")
+    if warmup_minutes <= 0:
+        raise ValueError(f"warmup_minutes must be positive: {warmup_minutes}")
+    if not 0.0 < warmup_performance <= 1.0:
+        raise ValueError(f"warmup_performance must be in (0, 1]: {warmup_performance}")
+    if update_interval_minutes <= 0:
+        raise ValueError(f"update_interval_minutes must be positive: {update_interval_minutes}")
+    if warmup_minutes > update_interval_minutes:
+        raise ValueError(
+            "warmup cannot take longer than the update interval: "
+            f"{warmup_minutes} > {update_interval_minutes}"
+        )
+    return (updating_fraction * warmup_minutes) / (
+        warmup_performance * update_interval_minutes
+    )
+
+
+def warmup_hit_rate_curve(
+    run_queries: Callable[[int], float],
+    checkpoints: Sequence[int],
+) -> List[Tuple[int, float]]:
+    """Measure how the cache hit rate climbs as queries are served.
+
+    ``run_queries(n)`` must serve ``n`` additional queries against a freshly
+    loaded SDM instance and return the *cumulative* hit rate; the helper calls
+    it with the increments implied by ``checkpoints`` and returns
+    ``(queries_served, hit_rate)`` points suitable for plotting the warmup
+    transient.
+    """
+    if not checkpoints:
+        raise ValueError("checkpoints must not be empty")
+    ordered = sorted(set(int(c) for c in checkpoints))
+    if ordered[0] <= 0:
+        raise ValueError(f"checkpoints must be positive: {ordered}")
+    curve: List[Tuple[int, float]] = []
+    served = 0
+    for checkpoint in ordered:
+        increment = checkpoint - served
+        hit_rate = run_queries(increment)
+        served = checkpoint
+        curve.append((checkpoint, hit_rate))
+    return curve

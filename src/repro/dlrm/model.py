@@ -1,0 +1,125 @@
+"""The DLRM model: bottom MLP, embeddings, interaction, top MLP (Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.dlrm.embedding import EmbeddingTable, EmbeddingTableSpec
+from repro.dlrm.interaction import concat_interaction
+from repro.dlrm.mlp import MLP
+
+
+@dataclass
+class DLRMModel:
+    """A materialised DLRM.
+
+    The model owns its embedding tables in fast memory; the SDM layer serves
+    *the same bytes* from the slow tier, which is what lets tests assert that
+    tiered serving produces numerically identical results.
+    """
+
+    name: str
+    bottom_mlp: MLP
+    top_mlp: MLP
+    tables: Dict[str, EmbeddingTable]
+    dense_dim: int
+    item_batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dense_dim <= 0:
+            raise ValueError(f"dense_dim must be positive: {self.dense_dim}")
+        if self.item_batch <= 0:
+            raise ValueError(f"item_batch must be positive: {self.item_batch}")
+        if self.bottom_mlp.input_dim != self.dense_dim:
+            raise ValueError(
+                f"bottom MLP expects input {self.bottom_mlp.input_dim}, dense_dim is {self.dense_dim}"
+            )
+        expected_top_in = self.bottom_mlp.output_dim + sum(
+            t.spec.dim for t in self.tables.values()
+        )
+        if self.top_mlp.input_dim != expected_top_in:
+            raise ValueError(
+                f"top MLP expects input {self.top_mlp.input_dim}, interaction produces {expected_top_in}"
+            )
+
+    # -------------------------------------------------------------- structure
+    @property
+    def user_table_specs(self) -> List[EmbeddingTableSpec]:
+        return [t.spec for t in self.tables.values() if t.spec.is_user]
+
+    @property
+    def item_table_specs(self) -> List[EmbeddingTableSpec]:
+        return [t.spec for t in self.tables.values() if not t.spec.is_user]
+
+    @property
+    def table_specs(self) -> List[EmbeddingTableSpec]:
+        return [t.spec for t in self.tables.values()]
+
+    @property
+    def embedding_size_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.tables.values())
+
+    def table(self, name: str) -> EmbeddingTable:
+        if name not in self.tables:
+            raise KeyError(f"model {self.name!r} has no table {name!r}")
+        return self.tables[name]
+
+    # --------------------------------------------------------------- forward
+    def pooled_embeddings(
+        self, sparse_indices: Mapping[str, Sequence[int]]
+    ) -> Dict[str, np.ndarray]:
+        """Pooled (summed) embedding vector per table for one sample."""
+        pooled: Dict[str, np.ndarray] = {}
+        for table_name, indices in sparse_indices.items():
+            pooled[table_name] = self.table(table_name).bag(indices)
+        return pooled
+
+    def score(
+        self,
+        dense_features: np.ndarray,
+        pooled: Mapping[str, np.ndarray],
+    ) -> float:
+        """Run interaction + top MLP given already-pooled embeddings.
+
+        ``pooled`` must contain one vector per model table, keyed by name;
+        vectors are interacted in the model's table order so the result does
+        not depend on the mapping's iteration order.
+        """
+        missing = [name for name in self.tables if name not in pooled]
+        if missing:
+            raise KeyError(f"missing pooled embeddings for tables: {missing}")
+        dense = np.asarray(dense_features, dtype=np.float32)
+        if dense.shape != (self.dense_dim,):
+            raise ValueError(
+                f"dense features must have shape ({self.dense_dim},), got {dense.shape}"
+            )
+        bottom_out = self.bottom_mlp.forward(dense)
+        ordered = [pooled[name] for name in self.tables]
+        interacted = concat_interaction(bottom_out, ordered)
+        return float(self.top_mlp.forward(interacted)[0])
+
+    def forward(
+        self,
+        dense_features: np.ndarray,
+        sparse_indices: Mapping[str, Sequence[int]],
+    ) -> float:
+        """Reference single-sample forward pass entirely from fast memory."""
+        pooled = self.pooled_embeddings(sparse_indices)
+        return self.score(dense_features, pooled)
+
+    # ------------------------------------------------------------- accounting
+    def mlp_flops_per_sample(self) -> int:
+        return self.bottom_mlp.flops_per_sample() + self.top_mlp.flops_per_sample()
+
+    def num_parameters(self) -> int:
+        embedding_params = sum(
+            t.spec.num_rows * t.spec.dim for t in self.tables.values()
+        )
+        return (
+            embedding_params
+            + self.bottom_mlp.num_parameters()
+            + self.top_mlp.num_parameters()
+        )

@@ -1,0 +1,51 @@
+"""Latency targets and percentile helpers.
+
+Different models/use-cases have different latency disciplines: some require a
+strict p99 with active load balancing, others a p95 achieved through static
+allocation (section 2.3).  A :class:`LatencyTarget` captures which percentile
+matters and the budget in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.analysis.metrics import percentile
+from repro.sim.units import MILLISECOND
+
+
+@dataclass(frozen=True)
+class LatencyTarget:
+    """A latency SLO: the percentile of interest and its budget."""
+
+    percentile: float = 95.0
+    budget_seconds: float = 25 * MILLISECOND
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100]: {self.percentile}")
+        if self.budget_seconds <= 0:
+            raise ValueError(f"budget_seconds must be positive: {self.budget_seconds}")
+
+    def met_by(self, latencies: Sequence[float]) -> bool:
+        """Whether a sample of per-query latencies meets the SLO."""
+        return percentile(latencies, self.percentile) <= self.budget_seconds
+
+    def headroom(self, latencies: Sequence[float]) -> float:
+        """Fraction of the budget left at the target percentile (negative if violated)."""
+        observed = percentile(latencies, self.percentile)
+        return 1.0 - observed / self.budget_seconds
+
+
+def latency_percentiles(latencies: Iterable[float]) -> Dict[str, float]:
+    """The percentiles the paper reports (p50/p95/p99) plus the mean."""
+    values = list(latencies)
+    if not values:
+        raise ValueError("latency sample set is empty")
+    return {
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+    }

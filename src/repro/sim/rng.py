@@ -1,0 +1,31 @@
+"""Deterministic random number helpers.
+
+Experiments derive per-component generators from a single experiment seed so
+that results are reproducible yet components do not accidentally share a
+stream (which would couple, say, the workload generator and cache jitter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, str]
+
+
+def derive_seed(base_seed: int, *keys: SeedLike) -> int:
+    """Derive a stable 63-bit seed from a base seed and a sequence of keys.
+
+    The derivation is a SHA-256 hash of the textual representation, so it is
+    stable across processes and Python versions (unlike ``hash()``).
+    """
+    material = ":".join([str(base_seed), *[str(key) for key in keys]])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def make_rng(base_seed: int, *keys: SeedLike) -> np.random.Generator:
+    """Create a numpy ``Generator`` seeded from ``derive_seed``."""
+    return np.random.default_rng(derive_seed(base_seed, *keys))

@@ -1,0 +1,60 @@
+"""Unit constants and formatting helpers.
+
+All simulated time in this package is expressed in **seconds** (floats) and all
+sizes in **bytes** (ints) unless a name explicitly says otherwise.  The
+constants below exist so call sites can say ``4 * KIB`` or ``100 *
+MICROSECOND`` instead of sprinkling magic numbers.
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) byte units -- used for capacities quoted the way vendors quote
+# them (a "2 TB" SSD).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary byte units -- used for block sizes and memory allocations.
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+TIB = 1024 * 1024 * 1024 * 1024
+
+# Time units, in seconds.
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+#: NVMe logical block size used throughout the storage substrate.
+BLOCK_SIZE = 4 * KIB
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a human readable binary suffix.
+
+    >>> format_bytes(4096)
+    '4.0 KiB'
+    """
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with the most natural unit.
+
+    >>> format_time(2.5e-05)
+    '25.0 us'
+    """
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.1f} ms"
+    if seconds >= MICROSECOND:
+        return f"{seconds / MICROSECOND:.1f} us"
+    return f"{seconds / NANOSECOND:.1f} ns"

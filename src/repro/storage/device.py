@@ -1,0 +1,182 @@
+"""Discrete-event simulation of a slow-memory (SM) block device.
+
+The device stores real bytes (so embedding reads return real data the DLRM
+layer can dequantise and pool) and models service time with a multi-channel
+queue: each IO occupies one internal channel for ``1 / max_iops *
+parallelism`` seconds, so aggregate throughput saturates at the spec's IOPS
+ceiling while latency stays near the unloaded base latency until the device
+approaches saturation -- the behaviour Figure 3 of the paper shows for Nand
+Flash and Optane SSDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+from repro.sim.units import BLOCK_SIZE
+from repro.storage.latency_model import LoadedLatencyModel
+from repro.storage.sgl import ScatterGatherList
+from repro.storage.spec import DeviceSpec
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative counters for one simulated device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_requested: int = 0
+    bytes_transferred: int = 0
+    bytes_written: int = 0
+    tail_events: int = 0
+    busy_time: float = 0.0
+
+    @property
+    def read_amplification(self) -> float:
+        """Bytes moved over the bus per byte the application asked for."""
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_transferred / self.bytes_requested
+
+    def merge(self, other: "DeviceStats") -> "DeviceStats":
+        self.reads += other.reads
+        self.writes += other.writes
+        self.bytes_requested += other.bytes_requested
+        self.bytes_transferred += other.bytes_transferred
+        self.bytes_written += other.bytes_written
+        self.tail_events += other.tail_events
+        self.busy_time += other.busy_time
+        return self
+
+
+class SimulatedDevice:
+    """A simulated NVMe (or CXL/DIMM) device holding real block data."""
+
+    def __init__(self, spec: DeviceSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.stats = DeviceStats()
+        self.latency_model = LoadedLatencyModel(spec)
+        self._blocks: Dict[int, bytearray] = {}
+        self._channel_free = np.zeros(spec.internal_parallelism, dtype=float)
+        self._rng = make_rng(seed, "device", spec.name)
+        self._num_blocks = spec.capacity_bytes // BLOCK_SIZE
+
+    # ------------------------------------------------------------------ data
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self._num_blocks:
+            raise IndexError(
+                f"lba {lba} out of range for device {self.spec.name!r} "
+                f"with {self._num_blocks} blocks"
+            )
+
+    def write_block(self, lba: int, data: bytes, offset: int = 0) -> None:
+        """Write ``data`` into a block (content only; use :meth:`write` for timing)."""
+        self._check_lba(lba)
+        if offset < 0 or offset + len(data) > BLOCK_SIZE:
+            raise ValueError(
+                f"write of {len(data)} B at offset {offset} exceeds the {BLOCK_SIZE} B block"
+            )
+        block = self._blocks.setdefault(lba, bytearray(BLOCK_SIZE))
+        block[offset : offset + len(data)] = data
+        self.stats.bytes_written += len(data)
+        self.stats.writes += 1
+
+    def read_block_data(self, lba: int, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Return the stored bytes without any timing (used by tests)."""
+        self._check_lba(lba)
+        if length is None:
+            length = BLOCK_SIZE - offset
+        if offset < 0 or offset + length > BLOCK_SIZE:
+            raise ValueError(
+                f"read of {length} B at offset {offset} exceeds the {BLOCK_SIZE} B block"
+            )
+        block = self._blocks.get(lba)
+        if block is None:
+            return bytes(length)
+        return bytes(block[offset : offset + length])
+
+    # ---------------------------------------------------------------- timing
+    def _tail_penalty(self) -> float:
+        if self.spec.tail_latency_probability <= 0.0:
+            return 0.0
+        if self._rng.random() < self.spec.tail_latency_probability:
+            self.stats.tail_events += 1
+            return self.spec.tail_latency
+        return 0.0
+
+    def schedule_read(
+        self,
+        lba: int,
+        sgl: ScatterGatherList,
+        arrival_time: float,
+        sub_block_enabled: bool = True,
+    ) -> Tuple[bytes, float, int]:
+        """Serve one read IO.
+
+        Returns ``(data, completion_time, transferred_bytes)`` where ``data``
+        contains only the requested byte ranges concatenated in order.
+        """
+        self._check_lba(lba)
+        if arrival_time < 0:
+            raise ValueError(f"arrival_time must be non-negative: {arrival_time}")
+        transferred = sgl.transferred_bytes(
+            sub_block_enabled=sub_block_enabled and self.spec.supports_sub_block
+        )
+        requested = sgl.requested_bytes()
+
+        channel = int(np.argmin(self._channel_free))
+        start = max(arrival_time, float(self._channel_free[channel]))
+        service = self.spec.service_time_per_io()
+        self._channel_free[channel] = start + service
+        transfer = transferred / self.spec.read_bus_bandwidth
+        completion = (
+            start
+            + service
+            + self.spec.base_read_latency
+            + transfer
+            + self._tail_penalty()
+        )
+
+        pieces = [
+            self.read_block_data(lba, entry.offset, entry.length) for entry in sgl.entries
+        ]
+        data = b"".join(pieces)
+
+        self.stats.reads += 1
+        self.stats.bytes_requested += requested
+        self.stats.bytes_transferred += transferred
+        self.stats.busy_time += service + transfer
+        return data, completion, transferred
+
+    def schedule_write(self, lba: int, data: bytes, arrival_time: float, offset: int = 0) -> float:
+        """Write with timing; returns the completion time."""
+        self.write_block(lba, data, offset=offset)
+        write_time = len(data) / self.spec.write_bandwidth
+        channel = int(np.argmin(self._channel_free))
+        start = max(arrival_time, float(self._channel_free[channel]))
+        self._channel_free[channel] = start + write_time
+        self.stats.busy_time += write_time
+        return start + write_time + self.spec.base_read_latency
+
+    # ----------------------------------------------------------------- misc
+    def expected_latency(self, offered_iops: float, transfer_bytes: Optional[int] = None) -> float:
+        """Analytic loaded-latency estimate (see :class:`LoadedLatencyModel`)."""
+        return self.latency_model.expected_latency(offered_iops, transfer_bytes)
+
+    def outstanding_at(self, time: float) -> int:
+        """Number of channels still busy at ``time`` (a proxy for queue depth)."""
+        return int(np.sum(self._channel_free > time))
+
+    def reset_stats(self) -> None:
+        self.stats = DeviceStats()
+
+    def __repr__(self) -> str:
+        return f"SimulatedDevice({self.spec.name!r}, {self.spec.capacity_bytes} B)"

@@ -1,0 +1,83 @@
+"""Endurance and model-update-interval modelling.
+
+Section 3 of the paper notes that device endurance translates into a bound on
+how frequently the embedding tables stored on SM can be refreshed:
+
+    UpdateInterval = 365 * ModelSize / (pDWPD * SMCapacity)
+
+where pDWPD is the physical drive writes per day rating.  Appendix A.3
+discusses full vs incremental updates; the :class:`EnduranceModel` tracks
+bytes written and exposes both the paper's formula and a rate-based view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.units import SECOND
+from repro.storage.spec import DeviceSpec
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def update_interval_days(model_size_bytes: float, dwpd: float, sm_capacity_bytes: float) -> float:
+    """Minimum model update interval (days) allowed by endurance.
+
+    Implements the paper's formula ``365 * ModelSize / (pDWPD * SMCapacity)``:
+    the denominator is the total write volume per day the devices tolerate
+    scaled by the drive's rated lifetime in years (365-day horizon), and the
+    numerator is the bytes rewritten per full model update.
+    """
+    if model_size_bytes <= 0:
+        raise ValueError(f"model_size_bytes must be positive: {model_size_bytes}")
+    if dwpd <= 0:
+        raise ValueError(f"dwpd must be positive: {dwpd}")
+    if sm_capacity_bytes <= 0:
+        raise ValueError(f"sm_capacity_bytes must be positive: {sm_capacity_bytes}")
+    return 365.0 * model_size_bytes / (dwpd * sm_capacity_bytes)
+
+
+@dataclass
+class EnduranceModel:
+    """Tracks write volume against a device's endurance budget."""
+
+    spec: DeviceSpec
+    lifetime_years: float = 5.0
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lifetime_years <= 0:
+            raise ValueError(f"lifetime_years must be positive: {self.lifetime_years}")
+
+    @property
+    def lifetime_write_budget_bytes(self) -> float:
+        """Total bytes the device may absorb over its rated lifetime."""
+        days = self.lifetime_years * 365.0
+        return self.spec.endurance_dwpd * self.spec.capacity_bytes * days
+
+    def record_write(self, num_bytes: float) -> None:
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative: {num_bytes}")
+        self.bytes_written += num_bytes
+
+    @property
+    def life_consumed_fraction(self) -> float:
+        """Fraction of the endurance budget already consumed."""
+        return self.bytes_written / self.lifetime_write_budget_bytes
+
+    def min_update_interval_seconds(self, update_bytes: float) -> float:
+        """Smallest sustainable interval between updates of ``update_bytes``.
+
+        Writing ``update_bytes`` per interval, the device survives its rated
+        lifetime iff ``update_bytes / interval <= dwpd * capacity / day``.
+        """
+        if update_bytes <= 0:
+            raise ValueError(f"update_bytes must be positive: {update_bytes}")
+        allowed_bytes_per_day = self.spec.endurance_dwpd * self.spec.capacity_bytes
+        return update_bytes / allowed_bytes_per_day * SECONDS_PER_DAY
+
+    def supports_update_interval(self, update_bytes: float, interval_seconds: float) -> bool:
+        """Whether refreshing ``update_bytes`` every ``interval_seconds`` is sustainable."""
+        if interval_seconds <= 0:
+            raise ValueError(f"interval_seconds must be positive: {interval_seconds}")
+        return self.min_update_interval_seconds(update_bytes) <= interval_seconds

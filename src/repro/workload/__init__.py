@@ -1,0 +1,31 @@
+"""Synthetic workload generation and locality analysis.
+
+The paper characterises its production traces by their temporal-locality CDFs
+(Figure 4, power-law access to embedding rows), their lack of spatial
+locality (Figure 5) and the effect of user-sticky query routing.  This
+package generates query streams with those properties for any
+:class:`~repro.dlrm.model.DLRMModel`, and implements the same analyses the
+paper applies to its traces.
+"""
+
+from repro.workload.zipf import ZipfGenerator
+from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.locality import (
+    spatial_locality_ratio,
+    spatial_locality_windows,
+    temporal_locality_cdf,
+    top_fraction_coverage,
+)
+from repro.workload.routing import RequestRouter, RoutingPolicy
+
+__all__ = [
+    "ZipfGenerator",
+    "QueryGenerator",
+    "WorkloadConfig",
+    "temporal_locality_cdf",
+    "top_fraction_coverage",
+    "spatial_locality_ratio",
+    "spatial_locality_windows",
+    "RequestRouter",
+    "RoutingPolicy",
+]

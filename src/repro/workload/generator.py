@@ -1,0 +1,185 @@
+"""Query stream generation for a DLRM model.
+
+Generates :class:`~repro.dlrm.inference.Query` objects whose sparse index
+lists follow per-table Zipf distributions, with a configurable probability of
+repeating a previously issued index sequence (which is what gives the pooled
+embedding cache of section 4.4 its ~5% full-sequence hit rate) and a Zipf
+user population (which is what user-sticky routing exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dlrm.embedding import EmbeddingTableSpec
+from repro.dlrm.inference import Query
+from repro.dlrm.model import DLRMModel
+from repro.sim.rng import make_rng
+from repro.workload.zipf import ZipfGenerator
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the synthetic query stream.
+
+    Attributes
+    ----------
+    item_batch:
+        Number of candidate items ranked per query (B_I).  User batch is
+        always 1 for inference, per the paper.
+    num_users:
+        Size of the user population; user ids are drawn Zipf-distributed.
+    user_zipf_alpha:
+        Skew of the user popularity distribution.
+    sequence_repeat_probability:
+        Probability that a user-table index sequence repeats a previously
+        generated sequence verbatim (drives pooled-embedding-cache hits).
+    sequence_pool_size:
+        How many past sequences per table are eligible for repetition.
+    user_reuse_probability:
+        Probability that a returning user re-issues the same user-table index
+        sequence it used before (a user's categorical features are mostly
+        stable between queries).  This is what makes user-sticky routing
+        raise per-host temporal locality (Figure 4c).
+    pooling_factor_jitter:
+        Relative jitter applied to each table's average pooling factor.
+    """
+
+    item_batch: int = 10
+    num_users: int = 10_000
+    user_zipf_alpha: float = 1.1
+    sequence_repeat_probability: float = 0.05
+    sequence_pool_size: int = 256
+    user_reuse_probability: float = 0.8
+    pooling_factor_jitter: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.item_batch <= 0:
+            raise ValueError(f"item_batch must be positive: {self.item_batch}")
+        if self.num_users <= 0:
+            raise ValueError(f"num_users must be positive: {self.num_users}")
+        if not 0.0 <= self.sequence_repeat_probability <= 1.0:
+            raise ValueError(
+                "sequence_repeat_probability must be a probability: "
+                f"{self.sequence_repeat_probability}"
+            )
+        if not 0.0 <= self.user_reuse_probability <= 1.0:
+            raise ValueError(
+                f"user_reuse_probability must be a probability: {self.user_reuse_probability}"
+            )
+        if self.sequence_pool_size <= 0:
+            raise ValueError(f"sequence_pool_size must be positive: {self.sequence_pool_size}")
+        if not 0.0 <= self.pooling_factor_jitter < 1.0:
+            raise ValueError(
+                f"pooling_factor_jitter must be in [0, 1): {self.pooling_factor_jitter}"
+            )
+
+
+class QueryGenerator:
+    """Generates reproducible query streams for a model."""
+
+    def __init__(
+        self,
+        model: DLRMModel,
+        config: Optional[WorkloadConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else WorkloadConfig()
+        self.seed = seed
+        self._rng = make_rng(seed, "query-generator", model.name)
+        self._user_ids = ZipfGenerator(
+            self.config.num_users, self.config.user_zipf_alpha, seed=seed
+        )
+        self._table_generators: Dict[str, ZipfGenerator] = {}
+        for spec in model.table_specs:
+            self._table_generators[spec.name] = ZipfGenerator(
+                spec.num_rows, spec.zipf_alpha, seed=seed
+            )
+        self._sequence_pools: Dict[str, List[List[int]]] = {
+            spec.name: [] for spec in model.table_specs
+        }
+        # Remembered user-table index sequences per user id, so a returning
+        # user re-issues (mostly) the same categorical features.
+        self._user_memory: Dict[int, Dict[str, List[int]]] = {}
+        self._next_query_id = 0
+
+    # ---------------------------------------------------------------- helpers
+    def _pooling_count(self, spec: EmbeddingTableSpec) -> int:
+        jitter = self.config.pooling_factor_jitter
+        factor = spec.avg_pooling_factor
+        if jitter > 0:
+            factor *= 1.0 + self._rng.uniform(-jitter, jitter)
+        count = max(int(round(factor)), 1)
+        return min(count, spec.num_rows)
+
+    def _indices_for_table(self, spec: EmbeddingTableSpec) -> List[int]:
+        pool = self._sequence_pools[spec.name]
+        reuse = (
+            pool
+            and self._rng.random() < self.config.sequence_repeat_probability
+        )
+        if reuse:
+            return list(pool[int(self._rng.integers(len(pool)))])
+        count = self._pooling_count(spec)
+        indices = self._table_generators[spec.name].sample(count, unique=True).tolist()
+        if len(pool) >= self.config.sequence_pool_size:
+            pool[int(self._rng.integers(len(pool)))] = indices
+        else:
+            pool.append(indices)
+        return list(indices)
+
+    # -------------------------------------------------------------------- API
+    def generate_query(self, item_batch: Optional[int] = None) -> Query:
+        """Generate the next query in the stream."""
+        batch = item_batch if item_batch is not None else self.config.item_batch
+        if batch <= 0:
+            raise ValueError(f"item_batch must be positive: {batch}")
+        user_id = int(self._user_ids.sample(1)[0])
+        remembered = self._user_memory.setdefault(user_id, {})
+        user_indices: Dict[str, List[int]] = {}
+        for spec in self.model.user_table_specs:
+            reuse = (
+                spec.name in remembered
+                and self._rng.random() < self.config.user_reuse_probability
+            )
+            if reuse:
+                user_indices[spec.name] = list(remembered[spec.name])
+            else:
+                indices = self._indices_for_table(spec)
+                remembered[spec.name] = list(indices)
+                user_indices[spec.name] = indices
+        item_indices = {
+            spec.name: [self._indices_for_table(spec) for _ in range(batch)]
+            for spec in self.model.item_table_specs
+        }
+        dense = self._rng.normal(0.0, 1.0, size=self.model.dense_dim).astype(np.float32)
+        query = Query(
+            query_id=self._next_query_id,
+            user_id=user_id,
+            dense_features=dense,
+            user_indices=user_indices,
+            item_indices=item_indices,
+        )
+        self._next_query_id += 1
+        return query
+
+    def generate(self, num_queries: int, item_batch: Optional[int] = None) -> List[Query]:
+        """Generate a list of queries."""
+        if num_queries <= 0:
+            raise ValueError(f"num_queries must be positive: {num_queries}")
+        return [self.generate_query(item_batch) for _ in range(num_queries)]
+
+    def access_trace(self, queries: Sequence[Query], table_name: str) -> List[int]:
+        """Flatten the row accesses a query stream makes to one table."""
+        trace: List[int] = []
+        for query in queries:
+            if table_name in query.user_indices:
+                trace.extend(query.user_indices[table_name])
+            if table_name in query.item_indices:
+                for per_item in query.item_indices[table_name]:
+                    trace.extend(per_item)
+        return trace

@@ -1,0 +1,84 @@
+"""Temporal and spatial locality analysis of embedding access traces.
+
+Implements the two analyses of section 4.2:
+
+* **Temporal locality** (Figure 4): the cumulative distribution of accesses
+  over rows ordered by popularity.  A power-law trace shows a small fraction
+  of rows absorbing the majority of accesses.
+* **Spatial locality** (Figure 5): the ratio of unique indices to unique
+  4 KiB blocks touched within an access window, normalised by the number of
+  rows per block.  1.0 means every touched block was fully utilised (high
+  spatial locality); values near ``1 / rows_per_block`` mean each access hit
+  a different block (no spatial locality).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def temporal_locality_cdf(accesses: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative access share of rows ordered from hottest to coldest.
+
+    Returns ``(unique_row_fraction, access_fraction)`` arrays: the y value at
+    x = 0.1 is the share of accesses absorbed by the hottest 10% of the
+    *accessed* rows.
+    """
+    trace = np.asarray(list(accesses), dtype=np.int64)
+    if trace.size == 0:
+        raise ValueError("access trace is empty")
+    _, counts = np.unique(trace, return_counts=True)
+    counts = np.sort(counts)[::-1]
+    access_fraction = np.cumsum(counts) / trace.size
+    unique_fraction = np.arange(1, counts.size + 1) / counts.size
+    return unique_fraction, access_fraction
+
+
+def top_fraction_coverage(accesses: Sequence[int], fraction: float) -> float:
+    """Share of accesses covered by the hottest ``fraction`` of accessed rows."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+    unique_fraction, access_fraction = temporal_locality_cdf(accesses)
+    position = int(np.searchsorted(unique_fraction, fraction, side="left"))
+    position = min(position, access_fraction.size - 1)
+    return float(access_fraction[position])
+
+
+def spatial_locality_ratio(accesses: Sequence[int], rows_per_block: int) -> float:
+    """Spatial locality proxy of one access window (paper Figure 5).
+
+    ``ratio = (unique indices / unique blocks) / rows_per_block`` so 1.0 is
+    perfect spatial locality and ``1 / rows_per_block`` is none.
+    """
+    if rows_per_block <= 0:
+        raise ValueError(f"rows_per_block must be positive: {rows_per_block}")
+    trace = np.asarray(list(accesses), dtype=np.int64)
+    if trace.size == 0:
+        raise ValueError("access trace is empty")
+    unique_indices = np.unique(trace)
+    unique_blocks = np.unique(unique_indices // rows_per_block)
+    ratio = unique_indices.size / unique_blocks.size / rows_per_block
+    return float(min(ratio, 1.0))
+
+
+def spatial_locality_windows(
+    accesses: Sequence[int],
+    rows_per_block: int,
+    num_windows: int = 10,
+) -> List[float]:
+    """Per-window spatial locality ratios (one row of the Figure 5 heat map)."""
+    if num_windows <= 0:
+        raise ValueError(f"num_windows must be positive: {num_windows}")
+    trace = list(accesses)
+    if not trace:
+        raise ValueError("access trace is empty")
+    window_size = max(len(trace) // num_windows, 1)
+    ratios: List[float] = []
+    for start in range(0, len(trace), window_size):
+        window = trace[start : start + window_size]
+        if not window:
+            continue
+        ratios.append(spatial_locality_ratio(window, rows_per_block))
+    return ratios[:num_windows]

@@ -1,0 +1,51 @@
+"""Query routing across serving hosts.
+
+Inference queries pass through a scheduler/aggregator that picks a host.  The
+paper observes (Figure 4c) that a *user-sticky* policy -- always routing a
+given user to the same host -- raises the temporal locality each host sees,
+and therefore the SM cache hit rate, compared to random routing.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.dlrm.inference import Query
+from repro.sim.rng import make_rng
+
+
+class RoutingPolicy(str, enum.Enum):
+    """Host selection policies."""
+
+    RANDOM = "random"
+    USER_STICKY = "user_sticky"
+
+
+class RequestRouter:
+    """Routes queries to one of ``num_hosts`` serving hosts."""
+
+    def __init__(self, num_hosts: int, policy: RoutingPolicy = RoutingPolicy.USER_STICKY, seed: int = 0) -> None:
+        if num_hosts <= 0:
+            raise ValueError(f"num_hosts must be positive: {num_hosts}")
+        self.num_hosts = num_hosts
+        self.policy = RoutingPolicy(policy)
+        self._rng = make_rng(seed, "router", num_hosts)
+
+    def route(self, query: Query) -> int:
+        """Return the host index serving ``query``."""
+        if self.policy is RoutingPolicy.RANDOM:
+            return int(self._rng.integers(self.num_hosts))
+        # Stable hash of the user id so the same user always lands on the
+        # same host across runs and processes.
+        digest = zlib.crc32(str(query.user_id).encode("utf-8"))
+        return digest % self.num_hosts
+
+    def split(self, queries: Sequence[Query]) -> Dict[int, List[Query]]:
+        """Partition a query stream by serving host."""
+        per_host: Dict[int, List[Query]] = defaultdict(list)
+        for query in queries:
+            per_host[self.route(query)].append(query)
+        return dict(per_host)

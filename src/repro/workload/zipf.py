@@ -1,0 +1,84 @@
+"""Bounded Zipf (power-law) index generation.
+
+Access to embedding rows follows a power law for the majority of categorical
+features (Figure 4).  The generator maps popularity ranks onto a random
+permutation of the row-id space so popular rows are scattered across the
+table -- which is exactly why the paper observes little *spatial* locality
+despite strong *temporal* locality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+class ZipfGenerator:
+    """Samples row indices with a bounded Zipf popularity distribution."""
+
+    def __init__(
+        self,
+        num_items: int,
+        alpha: float = 1.05,
+        seed: int = 0,
+        shuffle_ids: bool = True,
+    ) -> None:
+        if num_items <= 0:
+            raise ValueError(f"num_items must be positive: {num_items}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive: {alpha}")
+        self.num_items = num_items
+        self.alpha = alpha
+        self._rng = make_rng(seed, "zipf", num_items, alpha)
+        ranks = np.arange(1, num_items + 1, dtype=np.float64)
+        weights = ranks ** (-alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        if shuffle_ids:
+            self._id_map = self._rng.permutation(num_items)
+        else:
+            self._id_map = np.arange(num_items)
+
+    def sample(self, count: int = 1, unique: bool = False) -> np.ndarray:
+        """Draw ``count`` indices; with ``unique`` no index repeats in the draw."""
+        if count <= 0:
+            raise ValueError(f"count must be positive: {count}")
+        if unique and count > self.num_items:
+            raise ValueError(
+                f"cannot draw {count} unique indices from {self.num_items} items"
+            )
+        if not unique:
+            uniform = self._rng.random(count)
+            ranks = np.searchsorted(self._cdf, uniform, side="left")
+            return self._id_map[ranks]
+        chosen: list[int] = []
+        seen: set[int] = set()
+        # Rejection sampling; pooling factors are far smaller than table
+        # cardinality so this terminates quickly in practice.
+        while len(chosen) < count:
+            needed = count - len(chosen)
+            draws = self.sample(needed * 2 + 8, unique=False)
+            for value in draws.tolist():
+                if value not in seen:
+                    seen.add(value)
+                    chosen.append(value)
+                    if len(chosen) == count:
+                        break
+        return np.asarray(chosen, dtype=np.int64)
+
+    def expected_top_fraction_coverage(self, fraction: float) -> float:
+        """Analytic fraction of accesses landing on the hottest ``fraction`` of rows."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+        top = max(int(round(fraction * self.num_items)), 1)
+        return float(self._cdf[top - 1])
+
+    def popularity_rank_of(self, index: int) -> int:
+        """Rank (0 = hottest) of a row id, useful for assertions in tests."""
+        positions = np.where(self._id_map == index)[0]
+        if positions.size == 0:
+            raise ValueError(f"index {index} is not in [0, {self.num_items})")
+        return int(positions[0])

@@ -1,0 +1,131 @@
+"""Shared builders for the test suite.
+
+Small, fast model/SDM instances used by many tests.  Everything is seeded so
+tests are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import SDMConfig, SoftwareDefinedMemory
+from repro.dlrm import (
+    ComputeSpec,
+    DLRMModel,
+    EmbeddingTable,
+    EmbeddingTableSpec,
+    InferenceEngine,
+    MLP,
+    Query,
+)
+from repro.sim.units import MIB
+from repro.workload import QueryGenerator, WorkloadConfig
+
+
+def small_table_specs(
+    num_user: int = 2,
+    num_item: int = 1,
+    num_rows: int = 256,
+    dim: int = 16,
+    pooling_factor: float = 6.0,
+) -> List[EmbeddingTableSpec]:
+    """A handful of small user and item table specs."""
+    specs: List[EmbeddingTableSpec] = []
+    for index in range(num_user):
+        specs.append(
+            EmbeddingTableSpec(
+                name=f"user_{index}",
+                num_rows=num_rows,
+                dim=dim,
+                is_user=True,
+                avg_pooling_factor=pooling_factor,
+                zipf_alpha=1.05,
+            )
+        )
+    for index in range(num_item):
+        specs.append(
+            EmbeddingTableSpec(
+                name=f"item_{index}",
+                num_rows=num_rows,
+                dim=dim,
+                is_user=False,
+                avg_pooling_factor=3.0,
+                zipf_alpha=1.2,
+            )
+        )
+    return specs
+
+
+def small_model(
+    num_user: int = 2,
+    num_item: int = 1,
+    num_rows: int = 256,
+    dim: int = 16,
+    dense_dim: int = 4,
+    item_batch: int = 3,
+    seed: int = 0,
+) -> DLRMModel:
+    """A tiny but complete DLRM for fast end-to-end tests."""
+    specs = small_table_specs(num_user, num_item, num_rows, dim)
+    tables: Dict[str, EmbeddingTable] = {
+        spec.name: EmbeddingTable.random(spec, seed=seed) for spec in specs
+    }
+    bottom_out = 8
+    total_dim = sum(spec.dim for spec in specs)
+    bottom = MLP([dense_dim, 16, bottom_out], seed=seed, name="test/bottom")
+    top = MLP([bottom_out + total_dim, 16, 1], seed=seed, name="test/top")
+    return DLRMModel(
+        name="test-model",
+        bottom_mlp=bottom,
+        top_mlp=top,
+        tables=tables,
+        dense_dim=dense_dim,
+        item_batch=item_batch,
+    )
+
+
+def small_sdm_config(**overrides) -> SDMConfig:
+    """An SDM config sized for the small test model."""
+    defaults = dict(
+        row_cache_capacity_bytes=256 * 1024,
+        pooled_cache_capacity_bytes=128 * 1024,
+        num_devices=2,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SDMConfig(**defaults)
+
+
+def small_sdm(model: Optional[DLRMModel] = None, **config_overrides) -> SoftwareDefinedMemory:
+    """An SDM instance serving the small test model."""
+    model = model if model is not None else small_model()
+    return SoftwareDefinedMemory(model, small_sdm_config(**config_overrides))
+
+
+def small_engine(
+    model: Optional[DLRMModel] = None, sdm: Optional[SoftwareDefinedMemory] = None
+) -> InferenceEngine:
+    """An inference engine wired to an SDM user backend."""
+    model = model if model is not None else small_model()
+    sdm = sdm if sdm is not None else small_sdm(model)
+    return InferenceEngine(model, ComputeSpec(), user_backend=sdm)
+
+
+def small_queries(model: DLRMModel, count: int = 20, seed: int = 0) -> List[Query]:
+    """A deterministic query stream for the small model."""
+    generator = QueryGenerator(
+        model,
+        WorkloadConfig(item_batch=model.item_batch, num_users=200),
+        seed=seed,
+    )
+    return generator.generate(count)
+
+
+def reference_pooled(model: DLRMModel, query: Query) -> Dict[str, np.ndarray]:
+    """Reference pooled user-embedding vectors straight from fast memory."""
+    return {
+        name: model.table(name).bag(indices)
+        for name, indices in query.user_indices.items()
+    }

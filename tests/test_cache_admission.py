@@ -1,0 +1,52 @@
+"""Tests for cache admission policies."""
+
+import pytest
+
+from repro.cache import AlwaysAdmit, ProbabilisticAdmission, SizeThresholdAdmission
+
+
+class TestAlwaysAdmit:
+    def test_admits_everything(self):
+        policy = AlwaysAdmit()
+        assert policy.admit("k", b"v")
+        assert policy.admit(("t", 1), bytes(10_000))
+
+
+class TestProbabilisticAdmission:
+    def test_zero_probability_rejects_all(self):
+        policy = ProbabilisticAdmission(0.0)
+        assert not any(policy.admit(i, b"v") for i in range(100))
+
+    def test_one_probability_admits_all(self):
+        policy = ProbabilisticAdmission(1.0)
+        assert all(policy.admit(i, b"v") for i in range(100))
+
+    def test_intermediate_probability_admits_roughly_that_fraction(self):
+        policy = ProbabilisticAdmission(0.3, seed=1)
+        admitted = sum(policy.admit(i, b"v") for i in range(5000))
+        assert 0.25 < admitted / 5000 < 0.35
+
+    def test_deterministic_given_seed(self):
+        a = [ProbabilisticAdmission(0.5, seed=7).admit(i, b"") for i in range(50)]
+        b = [ProbabilisticAdmission(0.5, seed=7).admit(i, b"") for i in range(50)]
+        assert a == b
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticAdmission(1.5)
+        with pytest.raises(ValueError):
+            ProbabilisticAdmission(-0.1)
+
+
+class TestSizeThresholdAdmission:
+    def test_small_values_admitted(self):
+        policy = SizeThresholdAdmission(max_value_bytes=256)
+        assert policy.admit("k", bytes(256))
+
+    def test_large_values_rejected(self):
+        policy = SizeThresholdAdmission(max_value_bytes=256)
+        assert not policy.admit("k", bytes(257))
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SizeThresholdAdmission(0)

@@ -1,0 +1,140 @@
+"""Tests for the byte-budgeted LRU cache."""
+
+import pytest
+
+from repro.cache import LRUCache
+
+
+def _cache(capacity=1024, overhead=0):
+    return LRUCache(capacity, per_item_overhead_bytes=overhead)
+
+
+class TestLRUBasics:
+    def test_get_miss_returns_none(self):
+        cache = _cache()
+        assert cache.get("a") is None
+        assert cache.stats.misses == 1
+
+    def test_put_then_get(self):
+        cache = _cache()
+        cache.put("a", b"hello")
+        assert cache.get("a") == b"hello"
+        assert cache.stats.hits == 1
+
+    def test_contains_does_not_touch_stats(self):
+        cache = _cache()
+        cache.put("a", b"x")
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert cache.stats.lookups == 0
+
+    def test_used_bytes_includes_overhead(self):
+        cache = _cache(overhead=10)
+        cache.put("a", b"12345")
+        assert cache.used_bytes == 15
+
+    def test_replacing_key_updates_bytes(self):
+        cache = _cache()
+        cache.put("a", b"12345")
+        cache.put("a", b"12")
+        assert cache.used_bytes == 2
+        assert cache.item_count == 1
+
+    def test_invalidate(self):
+        cache = _cache()
+        cache.put("a", b"x")
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.used_bytes == 0
+
+    def test_clear(self):
+        cache = _cache()
+        cache.put("a", b"x")
+        cache.put("b", b"y")
+        cache.clear()
+        assert cache.item_count == 0
+        assert cache.used_bytes == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(100, per_item_overhead_bytes=-1)
+
+
+class TestLRUEviction:
+    def test_lru_entry_evicted_first(self):
+        cache = _cache(capacity=30)
+        cache.put("a", b"0123456789")
+        cache.put("b", b"0123456789")
+        cache.put("c", b"0123456789")
+        cache.get("a")  # touch a so b is now least recently used
+        cache.put("d", b"0123456789")
+        assert cache.contains("a")
+        assert not cache.contains("b")
+
+    def test_eviction_counted(self):
+        cache = _cache(capacity=20)
+        cache.put("a", b"0123456789")
+        cache.put("b", b"0123456789")
+        cache.put("c", b"0123456789")
+        assert cache.stats.evictions >= 1
+
+    def test_capacity_never_exceeded(self):
+        cache = _cache(capacity=100, overhead=4)
+        for index in range(200):
+            cache.put(index, bytes(10))
+            assert cache.used_bytes <= 100
+
+    def test_value_larger_than_capacity_rejected(self):
+        cache = _cache(capacity=8)
+        assert cache.put("big", bytes(100)) is False
+        assert cache.stats.rejected_inserts == 1
+        assert cache.item_count == 0
+
+    def test_get_refreshes_recency(self):
+        cache = _cache(capacity=22)
+        cache.put("a", b"0123456789")
+        cache.put("b", b"0123456789")
+        cache.get("a")
+        cache.put("c", b"0123456789")  # evicts b, not a
+        assert cache.contains("a")
+        assert not cache.contains("b")
+
+    def test_keys_iterate_lru_to_mru(self):
+        cache = _cache()
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")
+        assert list(cache.keys()) == ["b", "a"]
+
+
+class TestLRUAccounting:
+    def test_hit_rate(self):
+        cache = _cache()
+        cache.put("a", b"x")
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_cpu_seconds_accumulate(self):
+        cache = _cache()
+        cache.put("a", b"x")
+        cache.get("a")
+        assert cache.stats.cpu_seconds > 0
+
+    def test_occupancy(self):
+        cache = _cache(capacity=100)
+        cache.put("a", bytes(50))
+        assert cache.occupancy == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = _cache()
+        cache.put("a", b"x")
+        cache.get("a")
+        cache.reset_stats()
+        assert cache.stats.hits == 0
+        assert cache.contains("a")

@@ -1,0 +1,75 @@
+"""Tests for de-pruning at load time (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import deprune_table
+from repro.dlrm import EmbeddingTable, EmbeddingTableSpec, prune_table
+from repro.dlrm.pruning import PRUNED
+
+
+def _pruned(num_rows=64, dim=8, fraction=0.25, seed=0):
+    spec = EmbeddingTableSpec(
+        name="t", num_rows=num_rows, dim=dim, is_user=True, avg_pooling_factor=4.0
+    )
+    table = EmbeddingTable.random(spec, seed=seed)
+    return table, prune_table(table, fraction)
+
+
+class TestDeprune:
+    def test_restores_unpruned_index_space(self):
+        _, pruned = _pruned()
+        result = deprune_table(pruned)
+        assert result.table.spec.num_rows == pruned.original_spec.num_rows
+
+    def test_kept_rows_match_original(self):
+        table, pruned = _pruned()
+        result = deprune_table(pruned)
+        kept = np.nonzero(pruned.mapping != PRUNED)[0]
+        np.testing.assert_array_equal(result.table.data[kept], table.data[kept])
+
+    def test_pruned_rows_dequantise_to_zero(self):
+        _, pruned = _pruned()
+        result = deprune_table(pruned)
+        zero_rows = np.nonzero(pruned.mapping == PRUNED)[0]
+        dense = result.table.lookup_dense(zero_rows[:5])
+        np.testing.assert_array_equal(dense, np.zeros_like(dense))
+
+    def test_bag_matches_pruned_semantics(self):
+        """Pooled output of the de-pruned table equals the pruned table's
+        (zeros contribute nothing), so model quality is unchanged."""
+        _, pruned = _pruned()
+        indices = [0, 5, 17, 33, 60]
+        result = deprune_table(pruned)
+        np.testing.assert_allclose(
+            result.table.bag(indices), pruned.bag(indices), rtol=1e-6
+        )
+
+    def test_frees_mapping_tensor_fm_bytes(self):
+        _, pruned = _pruned()
+        result = deprune_table(pruned)
+        assert result.freed_fm_bytes == pruned.mapping_tensor_bytes
+        assert result.freed_fm_bytes > 0
+
+    def test_extra_sm_bytes_equals_zero_rows(self):
+        _, pruned = _pruned(num_rows=100, fraction=0.4)
+        result = deprune_table(pruned)
+        assert result.num_zero_rows == 40
+        assert result.extra_sm_bytes == 40 * pruned.table.spec.row_bytes
+
+    def test_sm_growth_factor(self):
+        _, pruned = _pruned(num_rows=100, fraction=0.5)
+        result = deprune_table(pruned)
+        assert result.sm_growth_factor == pytest.approx(2.0)
+
+    def test_depruned_spec_not_marked_pruned(self):
+        _, pruned = _pruned()
+        result = deprune_table(pruned)
+        assert result.table.spec.pruned_fraction == 0.0
+        assert result.table.spec.name == pruned.original_spec.name
+
+    def test_noop_when_nothing_pruned(self):
+        table, pruned = _pruned(fraction=0.0)
+        result = deprune_table(pruned)
+        assert result.num_zero_rows == 0
+        np.testing.assert_array_equal(result.table.data, table.data)

@@ -1,0 +1,138 @@
+"""Tests for placement policies (Table 5)."""
+
+import pytest
+
+from repro.core import PlacementPolicy, Tier, compute_placement
+from repro.dlrm import EmbeddingTableSpec
+
+
+def _specs():
+    return [
+        EmbeddingTableSpec(
+            name="user_hot",
+            num_rows=1000,
+            dim=56,
+            is_user=True,
+            avg_pooling_factor=50,
+            zipf_alpha=1.1,
+        ),
+        EmbeddingTableSpec(
+            name="user_cold_big",
+            num_rows=100_000,
+            dim=56,
+            is_user=True,
+            avg_pooling_factor=2,
+            zipf_alpha=0.4,
+        ),
+        EmbeddingTableSpec(
+            name="item_a",
+            num_rows=5000,
+            dim=56,
+            is_user=False,
+            avg_pooling_factor=10,
+            zipf_alpha=1.2,
+        ),
+    ]
+
+
+class TestSmOnlyPolicy:
+    def test_all_user_tables_on_sm(self):
+        placement = compute_placement(_specs(), PlacementPolicy.SM_ONLY_WITH_CACHE)
+        assert set(placement.sm_tables()) == {"user_hot", "user_cold_big"}
+
+    def test_item_tables_stay_in_fm(self):
+        placement = compute_placement(_specs(), PlacementPolicy.SM_ONLY_WITH_CACHE)
+        assert placement.tier_of("item_a") is Tier.FM_DIRECT
+
+    def test_cache_enabled_for_sm_tables(self):
+        placement = compute_placement(_specs(), PlacementPolicy.SM_ONLY_WITH_CACHE)
+        assert all(
+            placement.for_table(name).cache_enabled for name in placement.sm_tables()
+        )
+
+
+class TestFixedFmSmPolicy:
+    def test_zero_budget_equals_sm_only(self):
+        placement = compute_placement(
+            _specs(), PlacementPolicy.FIXED_FM_SM, dram_budget_bytes=0
+        )
+        assert set(placement.sm_tables()) == {"user_hot", "user_cold_big"}
+
+    def test_budget_pins_highest_density_table(self):
+        specs = _specs()
+        hot_size = specs[0].size_bytes
+        placement = compute_placement(
+            specs, PlacementPolicy.FIXED_FM_SM, dram_budget_bytes=hot_size
+        )
+        assert placement.tier_of("user_hot") is Tier.FM_DIRECT
+        assert placement.tier_of("user_cold_big") is Tier.SM
+
+    def test_huge_budget_pins_everything(self):
+        specs = _specs()
+        total = sum(s.size_bytes for s in specs)
+        placement = compute_placement(
+            specs, PlacementPolicy.FIXED_FM_SM, dram_budget_bytes=total
+        )
+        assert placement.sm_tables() == []
+
+    def test_fm_direct_bytes_within_budget(self):
+        specs = _specs()
+        budget = specs[0].size_bytes + 10
+        placement = compute_placement(
+            specs, PlacementPolicy.FIXED_FM_SM, dram_budget_bytes=budget
+        )
+        spec_map = {s.name: s for s in specs}
+        user_fm = [n for n in placement.fm_tables() if spec_map[n].is_user]
+        assert sum(spec_map[n].size_bytes for n in user_fm) <= budget
+
+
+class TestPerTableCachePolicy:
+    def test_low_locality_tables_skip_cache(self):
+        placement = compute_placement(
+            _specs(), PlacementPolicy.PER_TABLE_CACHE, cache_disable_alpha_threshold=0.6
+        )
+        assert placement.for_table("user_hot").cache_enabled
+        assert not placement.for_table("user_cold_big").cache_enabled
+
+    def test_all_user_tables_still_on_sm(self):
+        placement = compute_placement(_specs(), PlacementPolicy.PER_TABLE_CACHE)
+        assert set(placement.sm_tables()) == {"user_hot", "user_cold_big"}
+
+
+class TestPinnedTablesAndValidation:
+    def test_pinned_table_never_on_sm(self):
+        placement = compute_placement(
+            _specs(),
+            PlacementPolicy.SM_ONLY_WITH_CACHE,
+            pinned_fm_tables=["user_cold_big"],
+        )
+        assert placement.tier_of("user_cold_big") is Tier.FM_DIRECT
+
+    def test_unknown_pinned_table_rejected(self):
+        with pytest.raises(ValueError):
+            compute_placement(_specs(), pinned_fm_tables=["nope"])
+
+    def test_duplicate_decision_rejected(self):
+        placement = compute_placement(_specs())
+        from repro.core.placement import TablePlacement
+
+        with pytest.raises(ValueError):
+            placement.add(TablePlacement("item_a", Tier.SM, True))
+
+    def test_missing_table_lookup_rejected(self):
+        placement = compute_placement(_specs())
+        with pytest.raises(KeyError):
+            placement.for_table("ghost")
+
+    def test_byte_accounting(self):
+        specs = _specs()
+        placement = compute_placement(specs)
+        spec_map = {s.name: s for s in specs}
+        assert placement.sm_bytes(spec_map) == sum(
+            s.size_bytes for s in specs if s.is_user
+        )
+        assert placement.fm_direct_bytes(spec_map) == specs[2].size_bytes
+
+    def test_policy_accepts_string_value(self):
+        placement = compute_placement(_specs(), "fixed_fm_sm")
+        assert isinstance(placement.sm_tables(), list)

@@ -1,0 +1,147 @@
+"""Tests for the pooled embedding cache (Algorithm 1) and Table 3 profiling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PooledEmbeddingCache,
+    order_invariant_hash,
+    profile_subsequence_schemes,
+)
+
+
+class TestOrderInvariantHash:
+    def test_order_invariance(self):
+        assert order_invariant_hash([1, 2, 3]) == order_invariant_hash([3, 1, 2])
+
+    def test_different_sets_differ(self):
+        assert order_invariant_hash([1, 2, 3]) != order_invariant_hash([1, 2, 4])
+
+    def test_multiset_sensitivity(self):
+        assert order_invariant_hash([1]) != order_invariant_hash([1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            order_invariant_hash([])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            order_invariant_hash([-1])
+
+    def test_stable_across_calls(self):
+        assert order_invariant_hash([5, 9, 11]) == order_invariant_hash([5, 9, 11])
+
+
+class TestPooledEmbeddingCache:
+    def test_miss_then_hit(self):
+        cache = PooledEmbeddingCache(64 * 1024, len_threshold=1)
+        vector = np.arange(8, dtype=np.float32)
+        assert cache.get("t", [1, 2, 3]) is None
+        cache.put("t", [1, 2, 3], vector)
+        np.testing.assert_array_equal(cache.get("t", [1, 2, 3]), vector)
+
+    def test_hit_is_order_invariant(self):
+        cache = PooledEmbeddingCache(64 * 1024)
+        vector = np.ones(4, dtype=np.float32)
+        cache.put("t", [4, 5, 6], vector)
+        assert cache.get("t", [6, 4, 5]) is not None
+
+    def test_len_threshold_skips_short_requests(self):
+        cache = PooledEmbeddingCache(64 * 1024, len_threshold=4)
+        vector = np.ones(4, dtype=np.float32)
+        assert not cache.put("t", [1, 2], vector)
+        assert cache.get("t", [1, 2]) is None
+        assert cache.stats.lookups == 0
+        assert cache.stats.skipped_short > 0
+
+    def test_eligibility_matches_algorithm1_predicate(self):
+        cache = PooledEmbeddingCache(1024, len_threshold=3)
+        assert not cache.eligible([1, 2, 3])
+        assert cache.eligible([1, 2, 3, 4])
+
+    def test_different_tables_do_not_collide(self):
+        cache = PooledEmbeddingCache(64 * 1024)
+        cache.put("a", [1, 2], np.zeros(2, dtype=np.float32))
+        assert cache.get("b", [1, 2]) is None
+
+    def test_stats_hit_rate_and_avg_length(self):
+        cache = PooledEmbeddingCache(64 * 1024)
+        cache.put("t", [1, 2, 3, 4], np.zeros(2, dtype=np.float32))
+        cache.get("t", [1, 2, 3, 4])
+        cache.get("t", [9, 9, 9])
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.average_hit_length == pytest.approx(4.0)
+
+    def test_capacity_eviction(self):
+        cache = PooledEmbeddingCache(1024)
+        vector = np.zeros(64, dtype=np.float32)  # 256B each + overhead
+        for sequence_id in range(20):
+            cache.put("t", [sequence_id, sequence_id + 1], vector)
+        assert cache.used_bytes <= cache.capacity_bytes
+
+    def test_returned_vector_is_a_copy(self):
+        cache = PooledEmbeddingCache(64 * 1024)
+        cache.put("t", [1, 2], np.zeros(4, dtype=np.float32))
+        out = cache.get("t", [1, 2])
+        out[0] = 99.0
+        np.testing.assert_array_equal(cache.get("t", [1, 2]), np.zeros(4, dtype=np.float32))
+
+    def test_clear_and_reset(self):
+        cache = PooledEmbeddingCache(64 * 1024)
+        cache.put("t", [1, 2], np.zeros(4, dtype=np.float32))
+        cache.clear()
+        assert cache.get("t", [1, 2]) is None
+        cache.reset_stats()
+        assert cache.stats.lookups == 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PooledEmbeddingCache(1024, len_threshold=-1)
+
+
+class TestSubsequenceProfiling:
+    def _sequences(self):
+        rng = np.random.default_rng(0)
+        base = [list(rng.choice(500, size=15, replace=False)) for _ in range(30)]
+        sequences = []
+        for query_id in range(300):
+            if query_id % 10 == 0 and sequences:
+                sequences.append(list(base[query_id % len(base)]))
+            else:
+                sequences.append(list(rng.choice(500, size=15, replace=False)))
+        return sequences
+
+    def test_returns_three_schemes(self):
+        profiles = profile_subsequence_schemes(self._sequences(), subsequence_length=10)
+        assert [p.scheme for p in profiles] == ["c=10", "c=10, top indices", "c=P"]
+
+    def test_general_scheme_hit_rate_at_least_full_sequence(self):
+        profiles = profile_subsequence_schemes(self._sequences(), subsequence_length=10)
+        by_scheme = {p.scheme: p for p in profiles}
+        assert by_scheme["c=10"].hit_rate >= by_scheme["c=P"].hit_rate
+
+    def test_generated_sequences_ordering_matches_table3(self):
+        """c=10 generates combinatorially many candidate subsequences, the
+        top-indices variant O(top), and c=P exactly one."""
+        profiles = profile_subsequence_schemes(self._sequences(), subsequence_length=10)
+        by_scheme = {p.scheme: p for p in profiles}
+        assert by_scheme["c=P"].generated_sequences_per_query == 1.0
+        assert (
+            by_scheme["c=10"].generated_sequences_per_query
+            > by_scheme["c=10, top indices"].generated_sequences_per_query
+            > by_scheme["c=P"].generated_sequences_per_query
+        )
+
+    def test_full_sequence_hits_counted(self):
+        sequences = [[1, 2, 3], [4, 5, 6], [3, 2, 1], [1, 2, 3]]
+        profiles = profile_subsequence_schemes(sequences, subsequence_length=3)
+        full = [p for p in profiles if p.scheme == "c=P"][0]
+        assert full.hit_rate == pytest.approx(0.5)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            profile_subsequence_schemes([])
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            profile_subsequence_schemes([[1, 2]], subsequence_length=0)

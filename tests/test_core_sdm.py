@@ -1,0 +1,241 @@
+"""Tests for the SoftwareDefinedMemory backend (the paper's core system)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccessPathKind, PlacementPolicy, SDMConfig, SoftwareDefinedMemory, Tier
+from repro.dlrm import ComputeSpec, prune_table
+from repro.storage import IOEngineConfig, Technology
+
+from helpers import reference_pooled, small_model, small_queries, small_sdm, small_sdm_config
+
+
+class TestSDMSetup:
+    def test_user_tables_loaded_to_sm(self):
+        model = small_model(num_user=2, num_item=1)
+        sdm = small_sdm(model)
+        assert set(sdm.placement.sm_tables()) == {"user_0", "user_1"}
+        assert sdm.sm_footprint_bytes() > 0
+
+    def test_item_tables_not_on_sm(self):
+        model = small_model()
+        sdm = small_sdm(model)
+        assert sdm.placement.tier_of("item_0") is Tier.FM_DIRECT
+
+    def test_fm_footprint_includes_caches(self):
+        model = small_model()
+        sdm = small_sdm(model)
+        assert sdm.fm_footprint_bytes() >= (
+            sdm.row_cache.capacity_bytes + sdm.pooled_cache.capacity_bytes
+        )
+
+    def test_devices_built_from_config(self):
+        sdm = small_sdm(small_model(), num_devices=3, device_technology=Technology.OPTANE_SSD)
+        assert len(sdm.devices) == 3
+        assert all(d.spec.technology is Technology.OPTANE_SSD for d in sdm.devices)
+
+    def test_unknown_pruned_table_rejected(self):
+        model = small_model()
+        other = small_model()
+        pruned = prune_table(other.table("user_0"), 0.2)
+        with pytest.raises(ValueError):
+            SoftwareDefinedMemory(
+                model,
+                small_sdm_config(),
+                pruned_tables={"ghost": pruned},
+            )
+
+    def test_pooled_cache_optional(self):
+        sdm = small_sdm(small_model(), pooled_cache_enabled=False)
+        assert sdm.pooled_cache is None
+        assert sdm.pooled_cache_hit_rate == 0.0
+
+
+class TestSDMNumericalCorrectness:
+    def test_pooled_embeddings_match_dram_reference(self):
+        """The headline invariant: serving from SM + cache returns exactly the
+        same pooled vectors as serving from DRAM."""
+        model = small_model()
+        sdm = small_sdm(model)
+        for query in small_queries(model, 10):
+            pooled, _ = sdm.pooled_embeddings(query.user_indices, start_time=0.0)
+            reference = reference_pooled(model, query)
+            for table_name, vector in reference.items():
+                np.testing.assert_allclose(pooled[table_name], vector, rtol=1e-5, atol=1e-6)
+
+    def test_correctness_preserved_across_repeated_queries(self):
+        """Cache hits (row cache and pooled cache) must not change results."""
+        model = small_model()
+        sdm = small_sdm(model)
+        query = small_queries(model, 1)[0]
+        first, _ = sdm.pooled_embeddings(query.user_indices, 0.0)
+        second, _ = sdm.pooled_embeddings(query.user_indices, 0.0)
+        for table_name in first:
+            np.testing.assert_allclose(first[table_name], second[table_name], rtol=1e-6)
+
+    def test_correctness_with_mmap_access_path(self):
+        model = small_model()
+        sdm = small_sdm(model, access_path=AccessPathKind.MMAP)
+        query = small_queries(model, 1)[0]
+        pooled, _ = sdm.pooled_embeddings(query.user_indices, 0.0)
+        for table_name, vector in reference_pooled(model, query).items():
+            np.testing.assert_allclose(pooled[table_name], vector, rtol=1e-5, atol=1e-6)
+
+    def test_correctness_with_dequantize_at_load(self):
+        model = small_model()
+        sdm = small_sdm(model, dequantize_at_load=True)
+        query = small_queries(model, 1)[0]
+        pooled, _ = sdm.pooled_embeddings(query.user_indices, 0.0)
+        for table_name, vector in reference_pooled(model, query).items():
+            np.testing.assert_allclose(pooled[table_name], vector, rtol=1e-5, atol=1e-5)
+
+    def test_correctness_without_sub_block_reads(self):
+        model = small_model()
+        sdm = small_sdm(model, io=IOEngineConfig(sub_block_reads=False))
+        query = small_queries(model, 1)[0]
+        pooled, _ = sdm.pooled_embeddings(query.user_indices, 0.0)
+        for table_name, vector in reference_pooled(model, query).items():
+            np.testing.assert_allclose(pooled[table_name], vector, rtol=1e-5, atol=1e-6)
+
+    def test_fm_direct_tables_served_from_model(self):
+        model = small_model()
+        sdm = small_sdm(
+            model,
+            placement_policy=PlacementPolicy.FIXED_FM_SM,
+            dram_budget_bytes=model.table("user_0").size_bytes,
+        )
+        assert sdm.placement.tier_of("user_0") is Tier.FM_DIRECT
+        pooled, _ = sdm.pooled_embeddings({"user_0": [1, 2, 3]}, 0.0)
+        np.testing.assert_allclose(pooled["user_0"], model.table("user_0").bag([1, 2, 3]))
+
+
+class TestSDMPrunedTables:
+    def _pruned_setup(self, deprune):
+        model = small_model()
+        pruned = {"user_0": prune_table(model.table("user_0"), 0.3, seed=1)}
+        sdm = SoftwareDefinedMemory(
+            model,
+            small_sdm_config(deprune_at_load=deprune),
+            pruned_tables=pruned,
+        )
+        return model, pruned, sdm
+
+    def test_pruned_serving_matches_pruned_reference(self):
+        model, pruned, sdm = self._pruned_setup(deprune=False)
+        indices = [0, 3, 17, 42, 100, 200]
+        pooled, _ = sdm.pooled_embeddings({"user_0": indices}, 0.0)
+        np.testing.assert_allclose(
+            pooled["user_0"], pruned["user_0"].bag(indices), rtol=1e-5, atol=1e-6
+        )
+
+    def test_depruned_serving_matches_pruned_reference(self):
+        model, pruned, sdm = self._pruned_setup(deprune=True)
+        indices = [0, 3, 17, 42, 100, 200]
+        pooled, _ = sdm.pooled_embeddings({"user_0": indices}, 0.0)
+        np.testing.assert_allclose(
+            pooled["user_0"], pruned["user_0"].bag(indices), rtol=1e-5, atol=1e-6
+        )
+
+    def test_mapping_tensor_consumes_fm_only_without_depruning(self):
+        _, pruned, with_mapping = self._pruned_setup(deprune=False)
+        _, _, depruned = self._pruned_setup(deprune=True)
+        difference = with_mapping.fm_footprint_bytes() - depruned.fm_footprint_bytes()
+        assert difference == pruned["user_0"].mapping_tensor_bytes
+
+    def test_depruning_grows_sm_footprint(self):
+        _, _, with_mapping = self._pruned_setup(deprune=False)
+        _, _, depruned = self._pruned_setup(deprune=True)
+        assert depruned.sm_footprint_bytes() >= with_mapping.sm_footprint_bytes()
+
+    def test_pruned_rows_skipped_counted(self):
+        model, pruned, sdm = self._pruned_setup(deprune=False)
+        mapping = pruned["user_0"].mapping
+        pruned_index = int(np.nonzero(mapping == -1)[0][0])
+        sdm.pooled_embeddings({"user_0": [pruned_index]}, 0.0)
+        assert sdm.stats.pruned_rows_skipped == 1
+
+
+class TestSDMTimingAndStats:
+    def test_misses_cost_more_time_than_hits(self):
+        model = small_model()
+        sdm = small_sdm(model, pooled_cache_enabled=False)
+        query = small_queries(model, 1)[0]
+        _, cold_done = sdm.pooled_embeddings(query.user_indices, 0.0)
+        _, warm_done = sdm.pooled_embeddings(query.user_indices, 0.0)
+        assert warm_done < cold_done
+
+    def test_pooled_cache_hit_is_fastest(self):
+        model = small_model()
+        sdm = small_sdm(model)
+        query = small_queries(model, 1)[0]
+        sdm.pooled_embeddings(query.user_indices, 0.0)
+        _, pooled_hit_done = sdm.pooled_embeddings(query.user_indices, 0.0)
+        assert sdm.pooled_cache.stats.hits > 0
+        assert pooled_hit_done < 1e-4
+
+    def test_row_cache_hit_rate_rises_with_repeated_serving(self):
+        model = small_model()
+        sdm = small_sdm(model, pooled_cache_enabled=False)
+        queries = small_queries(model, 50)
+        for query in queries:
+            sdm.pooled_embeddings(query.user_indices, 0.0)
+        assert sdm.row_cache_hit_rate > 0.2
+        assert sdm.stats.sm_ios < sdm.stats.sm_row_lookups
+
+    def test_inter_op_parallelism_reduces_completion_time(self):
+        model = small_model(num_user=4)
+        query = small_queries(model, 1)[0]
+        parallel = small_sdm(small_model(num_user=4), inter_op_parallelism=True)
+        serial = small_sdm(small_model(num_user=4), inter_op_parallelism=False)
+        _, parallel_done = parallel.pooled_embeddings(query.user_indices, 0.0)
+        _, serial_done = serial.pooled_embeddings(query.user_indices, 0.0)
+        assert parallel_done < serial_done
+
+    def test_queries_counted_via_on_query_complete(self):
+        sdm = small_sdm()
+        sdm.on_query_complete()
+        sdm.on_query_complete()
+        assert sdm.stats.queries == 2
+
+    def test_reset_and_clear(self):
+        model = small_model()
+        sdm = small_sdm(model)
+        query = small_queries(model, 1)[0]
+        sdm.pooled_embeddings(query.user_indices, 0.0)
+        sdm.clear_caches()
+        sdm.reset_stats()
+        assert sdm.stats.sm_row_lookups == 0
+        assert sdm.row_cache.item_count == 0
+
+    def test_device_stats_aggregate(self):
+        model = small_model()
+        sdm = small_sdm(model)
+        query = small_queries(model, 1)[0]
+        sdm.pooled_embeddings(query.user_indices, 0.0)
+        stats = sdm.device_stats()
+        assert stats.reads > 0
+
+    def test_empty_request_dict_returns_immediately(self):
+        sdm = small_sdm()
+        pooled, done = sdm.pooled_embeddings({}, 5.0)
+        assert pooled == {}
+        assert done == 5.0
+
+    def test_empty_indices_rejected(self):
+        sdm = small_sdm()
+        with pytest.raises(ValueError):
+            sdm.pooled_embeddings({"user_0": []}, 0.0)
+
+    def test_cache_disabled_tables_always_do_io(self):
+        model = small_model()
+        sdm = small_sdm(
+            model,
+            placement_policy=PlacementPolicy.PER_TABLE_CACHE,
+            cache_disable_alpha_threshold=2.0,  # disable caching for every table
+            pooled_cache_enabled=False,
+        )
+        query = small_queries(model, 1)[0]
+        sdm.pooled_embeddings(query.user_indices, 0.0)
+        sdm.pooled_embeddings(query.user_indices, 0.0)
+        assert sdm.row_cache.stats.lookups == 0
+        assert sdm.stats.sm_ios == 2 * sum(len(v) for v in query.user_indices.values())

@@ -1,0 +1,131 @@
+"""Tests for the inference engine and the DRAM reference backend."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm import ComputeSpec, InMemoryBackend, InferenceEngine, Query
+
+from helpers import small_model, small_queries
+
+
+class TestComputeSpec:
+    def test_mlp_time(self):
+        compute = ComputeSpec(flops_per_second=1e9)
+        assert compute.mlp_time(1e6) == pytest.approx(1e-3)
+
+    def test_embedding_read_time_scales_with_lookups(self):
+        compute = ComputeSpec()
+        assert compute.embedding_read_time(20, 128) > compute.embedding_read_time(10, 128)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeSpec(flops_per_second=0)
+        with pytest.raises(ValueError):
+            ComputeSpec(memory_bandwidth=0)
+        with pytest.raises(ValueError):
+            ComputeSpec(dequant_bytes_per_second=0)
+        with pytest.raises(ValueError):
+            ComputeSpec(per_lookup_overhead=-1)
+
+
+class TestQuery:
+    def test_item_batch_derived_from_indices(self):
+        model = small_model(item_batch=3)
+        query = small_queries(model, 1)[0]
+        assert query.item_batch == 3
+
+    def test_inconsistent_item_batch_rejected(self):
+        query = Query(
+            query_id=0,
+            user_id=1,
+            dense_features=np.zeros(4, dtype=np.float32),
+            user_indices={"u": [0]},
+            item_indices={"a": [[0]], "b": [[0], [1]]},
+        )
+        with pytest.raises(ValueError):
+            query.item_batch
+
+    def test_lookup_counters(self):
+        model = small_model(item_batch=2)
+        query = small_queries(model, 1)[0]
+        assert query.total_user_lookups() == sum(
+            len(v) for v in query.user_indices.values()
+        )
+        assert query.total_item_lookups() == sum(
+            len(i) for per in query.item_indices.values() for i in per
+        )
+
+
+class TestInMemoryBackend:
+    def test_pooled_values_match_table_bag(self):
+        model = small_model()
+        backend = InMemoryBackend(model.tables, ComputeSpec())
+        requests = {name: [0, 2] for name in model.tables}
+        pooled, done = backend.pooled_embeddings(requests, start_time=1.0)
+        assert done > 1.0
+        for name in requests:
+            np.testing.assert_allclose(pooled[name], model.table(name).bag([0, 2]))
+
+    def test_unknown_table_rejected(self):
+        model = small_model()
+        backend = InMemoryBackend(model.tables, ComputeSpec())
+        with pytest.raises(KeyError):
+            backend.pooled_embeddings({"nope": [0]}, 0.0)
+
+
+class TestInferenceEngine:
+    def test_scores_match_reference_forward(self):
+        model = small_model(item_batch=2)
+        engine = InferenceEngine(model, ComputeSpec(), InMemoryBackend(model.tables, ComputeSpec()))
+        query = small_queries(model, 1)[0]
+        result = engine.run_query(query)
+        for item_position in range(query.item_batch):
+            indices = dict(query.user_indices)
+            indices.update(
+                {name: per_item[item_position] for name, per_item in query.item_indices.items()}
+            )
+            expected = model.forward(query.dense_features, indices)
+            assert result.scores[item_position] == pytest.approx(expected, rel=1e-5)
+
+    def test_latency_is_sum_of_phases(self):
+        model = small_model(item_batch=2)
+        engine = InferenceEngine(model, ComputeSpec(), InMemoryBackend(model.tables, ComputeSpec()))
+        result = engine.run_query(small_queries(model, 1)[0])
+        assert result.latency == pytest.approx(
+            result.bottom_mlp_time + result.embedding_time + result.top_mlp_time
+        )
+
+    def test_embedding_phase_is_max_of_user_and_item(self):
+        model = small_model(item_batch=2)
+        engine = InferenceEngine(model, ComputeSpec(), InMemoryBackend(model.tables, ComputeSpec()))
+        result = engine.run_query(small_queries(model, 1)[0])
+        assert result.embedding_time == pytest.approx(
+            max(result.user_embedding_time, result.item_embedding_time)
+        )
+
+    def test_run_queries_advances_time(self):
+        model = small_model(item_batch=2)
+        engine = InferenceEngine(model, ComputeSpec(), InMemoryBackend(model.tables, ComputeSpec()))
+        results = engine.run_queries(small_queries(model, 5))
+        assert len(results) == 5
+        assert all(result.latency > 0 for result in results)
+
+    def test_query_without_items_rejected(self):
+        model = small_model()
+        engine = InferenceEngine(model, ComputeSpec(), InMemoryBackend(model.tables, ComputeSpec()))
+        query = Query(
+            query_id=0,
+            user_id=0,
+            dense_features=np.zeros(model.dense_dim, dtype=np.float32),
+            user_indices={name: [0] for name in model.tables},
+            item_indices={},
+        )
+        with pytest.raises(ValueError):
+            engine.run_query(query)
+
+    def test_default_item_backend_is_in_memory(self):
+        model = small_model(item_batch=2)
+        engine = InferenceEngine(
+            model, ComputeSpec(), user_backend=InMemoryBackend(model.tables, ComputeSpec())
+        )
+        assert isinstance(engine.item_backend, InMemoryBackend)

@@ -1,0 +1,122 @@
+"""Tests for the DLRM model."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm import DLRMModel, MLP
+
+from helpers import small_model
+
+
+class TestDLRMModelStructure:
+    def test_user_and_item_specs_split(self):
+        model = small_model(num_user=3, num_item=2)
+        assert len(model.user_table_specs) == 3
+        assert len(model.item_table_specs) == 2
+        assert len(model.table_specs) == 5
+
+    def test_embedding_size_bytes(self):
+        model = small_model()
+        assert model.embedding_size_bytes == sum(
+            t.size_bytes for t in model.tables.values()
+        )
+
+    def test_table_accessor_raises_for_unknown(self):
+        model = small_model()
+        with pytest.raises(KeyError):
+            model.table("nope")
+
+    def test_num_parameters_counts_embeddings_and_mlps(self):
+        model = small_model(num_user=1, num_item=1, num_rows=32, dim=8)
+        embedding_params = 2 * 32 * 8
+        expected = (
+            embedding_params
+            + model.bottom_mlp.num_parameters()
+            + model.top_mlp.num_parameters()
+        )
+        assert model.num_parameters() == expected
+
+    def test_mismatched_top_mlp_rejected(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            DLRMModel(
+                name="bad",
+                bottom_mlp=model.bottom_mlp,
+                top_mlp=MLP([3, 1]),
+                tables=model.tables,
+                dense_dim=model.dense_dim,
+            )
+
+    def test_mismatched_bottom_mlp_rejected(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            DLRMModel(
+                name="bad",
+                bottom_mlp=MLP([99, 8]),
+                top_mlp=model.top_mlp,
+                tables=model.tables,
+                dense_dim=model.dense_dim,
+            )
+
+    def test_invalid_item_batch_rejected(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            DLRMModel(
+                name="bad",
+                bottom_mlp=model.bottom_mlp,
+                top_mlp=model.top_mlp,
+                tables=model.tables,
+                dense_dim=model.dense_dim,
+                item_batch=0,
+            )
+
+
+class TestDLRMForward:
+    def test_forward_returns_finite_scalar(self):
+        model = small_model()
+        indices = {name: [0, 1] for name in model.tables}
+        score = model.forward(np.zeros(model.dense_dim, dtype=np.float32), indices)
+        assert isinstance(score, float)
+        assert np.isfinite(score)
+
+    def test_forward_deterministic(self):
+        model = small_model(seed=4)
+        dense = np.linspace(-1, 1, model.dense_dim).astype(np.float32)
+        indices = {name: [2, 5, 7] for name in model.tables}
+        assert model.forward(dense, indices) == model.forward(dense, indices)
+
+    def test_score_requires_all_tables(self):
+        model = small_model()
+        with pytest.raises(KeyError):
+            model.score(np.zeros(model.dense_dim), {})
+
+    def test_score_independent_of_pooled_dict_order(self):
+        model = small_model()
+        dense = np.ones(model.dense_dim, dtype=np.float32)
+        indices = {name: [1, 2] for name in model.tables}
+        pooled = model.pooled_embeddings(indices)
+        reordered = dict(reversed(list(pooled.items())))
+        assert model.score(dense, pooled) == pytest.approx(model.score(dense, reordered))
+
+    def test_score_rejects_wrong_dense_shape(self):
+        model = small_model()
+        pooled = model.pooled_embeddings({name: [0] for name in model.tables})
+        with pytest.raises(ValueError):
+            model.score(np.zeros(model.dense_dim + 1), pooled)
+
+    def test_pooled_embeddings_match_table_bag(self):
+        model = small_model()
+        indices = {name: [1, 3, 4] for name in model.tables}
+        pooled = model.pooled_embeddings(indices)
+        for name, vector in pooled.items():
+            np.testing.assert_allclose(vector, model.table(name).bag(indices[name]))
+
+    def test_different_indices_change_score(self):
+        model = small_model()
+        dense = np.ones(model.dense_dim, dtype=np.float32)
+        score_a = model.forward(dense, {name: [0] for name in model.tables})
+        score_b = model.forward(dense, {name: [1] for name in model.tables})
+        assert score_a != score_b
+
+    def test_mlp_flops_positive(self):
+        assert small_model().mlp_flops_per_sample() > 0

@@ -1,0 +1,89 @@
+"""Tests for post-training pruning and the mapping tensor."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm import EmbeddingTable, EmbeddingTableSpec, prune_table
+from repro.dlrm.pruning import PRUNED
+
+
+def _table(num_rows=64, dim=8, seed=0):
+    spec = EmbeddingTableSpec(
+        name="t", num_rows=num_rows, dim=dim, is_user=True, avg_pooling_factor=4.0
+    )
+    return EmbeddingTable.random(spec, seed=seed)
+
+
+class TestPruneTable:
+    def test_prunes_requested_fraction(self):
+        pruned = prune_table(_table(100), prune_fraction=0.3)
+        assert pruned.num_pruned_rows == 30
+        assert pruned.table.spec.num_rows == 70
+        assert pruned.pruned_fraction == pytest.approx(0.3)
+
+    def test_mapping_covers_unpruned_space(self):
+        table = _table(50)
+        pruned = prune_table(table, 0.2)
+        assert pruned.mapping.shape == (50,)
+        kept = pruned.mapping[pruned.mapping != PRUNED]
+        assert sorted(kept.tolist()) == list(range(40))
+
+    def test_smallest_norm_rows_are_pruned(self):
+        table = _table(64)
+        dense = table.lookup_dense(range(64))
+        norms = np.linalg.norm(dense, axis=1)
+        pruned = prune_table(table, 0.25)
+        pruned_rows = np.nonzero(pruned.mapping == PRUNED)[0]
+        kept_rows = np.nonzero(pruned.mapping != PRUNED)[0]
+        assert norms[pruned_rows].max() <= norms[kept_rows].min() + 1e-6
+
+    def test_kept_rows_preserve_values(self):
+        table = _table(32)
+        pruned = prune_table(table, 0.25)
+        for unpruned_index in np.nonzero(pruned.mapping != PRUNED)[0][:5]:
+            original = table.lookup_dense([unpruned_index])[0]
+            via_pruned = pruned.lookup_dense([unpruned_index])[0]
+            np.testing.assert_allclose(via_pruned, original)
+
+    def test_pruned_rows_read_as_zeros(self):
+        table = _table(32)
+        pruned = prune_table(table, 0.25)
+        zero_index = int(np.nonzero(pruned.mapping == PRUNED)[0][0])
+        np.testing.assert_array_equal(
+            pruned.lookup_dense([zero_index])[0], np.zeros(table.spec.dim)
+        )
+
+    def test_bag_mixes_zero_and_live_rows(self):
+        table = _table(32)
+        pruned = prune_table(table, 0.25)
+        zero_index = int(np.nonzero(pruned.mapping == PRUNED)[0][0])
+        live_index = int(np.nonzero(pruned.mapping != PRUNED)[0][0])
+        pooled = pruned.bag([zero_index, live_index])
+        np.testing.assert_allclose(pooled, table.lookup_dense([live_index])[0], rtol=1e-6)
+
+    def test_mapping_tensor_bytes(self):
+        pruned = prune_table(_table(100), 0.5, index_bytes=4)
+        assert pruned.mapping_tensor_bytes == 400
+        pruned8 = prune_table(_table(100), 0.5, index_bytes=8)
+        assert pruned8.mapping_tensor_bytes == 800
+
+    def test_out_of_range_lookup_rejected(self):
+        pruned = prune_table(_table(10), 0.2)
+        with pytest.raises(IndexError):
+            pruned.lookup_dense([10])
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            prune_table(_table(), -0.1)
+        with pytest.raises(ValueError):
+            prune_table(_table(), 1.0)
+
+    def test_zero_fraction_keeps_all_rows(self):
+        pruned = prune_table(_table(20), 0.0)
+        assert pruned.num_pruned_rows == 0
+        assert pruned.table.spec.num_rows == 20
+
+    def test_deterministic(self):
+        a = prune_table(_table(seed=3), 0.3)
+        b = prune_table(_table(seed=3), 0.3)
+        np.testing.assert_array_equal(a.mapping, b.mapping)

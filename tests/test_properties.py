@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cache import LRUCache
+from repro.core.pooled_cache import order_invariant_hash
+from repro.dlrm.quantization import dequantize_rows, quantize_rows, quantized_row_bytes
+from repro.sim.units import BLOCK_SIZE
+from repro.storage import BlockLayout, ScatterGatherList
+from repro.workload.locality import spatial_locality_ratio, temporal_locality_cdf
+
+
+class TestQuantizationProperties:
+    @given(
+        rows=st.integers(min_value=1, max_value=8),
+        dim=st.integers(min_value=1, max_value=96),
+        bits=st.sampled_from([4, 8]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bounded_by_quantisation_step(self, rows, dim, bits, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, size=(rows, dim)).astype(np.float32)
+        recovered = dequantize_rows(quantize_rows(values, bits=bits), dim=dim, bits=bits)
+        span = values.max(axis=1) - values.min(axis=1)
+        step = span / ((1 << bits) - 1)
+        error = np.abs(recovered - values).max(axis=1)
+        assert np.all(error <= step + 1e-5)
+
+    @given(
+        dim=st.integers(min_value=1, max_value=512),
+        bits=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_row_bytes_always_larger_than_payload(self, dim, bits):
+        size = quantized_row_bytes(dim, bits)
+        assert size > dim // (8 // bits) - 1
+        assert size >= 8
+
+
+class TestOrderInvariantHashProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_invariance(self, indices):
+        shuffled = list(indices)
+        np.random.default_rng(0).shuffle(shuffled)
+        assert order_invariant_hash(indices) == order_invariant_hash(shuffled)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_adding_an_element_changes_hash(self, indices, extra):
+        assert order_invariant_hash(indices) != order_invariant_hash(indices + [extra])
+
+
+class TestLRUCacheProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=1, max_value=120),
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        capacity=st.integers(min_value=64, max_value=2048),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_invariant_under_arbitrary_insertions(self, operations, capacity):
+        cache = LRUCache(capacity, per_item_overhead_bytes=8)
+        for key, size in operations:
+            cache.put(key, bytes(size))
+            assert cache.used_bytes <= capacity
+        # internal accounting matches the entries actually present
+        recomputed = sum(
+            len(cache.get(key) or b"") + 8 for key in list(cache.keys())
+        )
+        assert cache.used_bytes == recomputed
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=50)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_get_after_put_returns_value_if_present(self, keys):
+        cache = LRUCache(10_000)
+        for key in keys:
+            cache.put(key, str(key).encode())
+        for key in set(keys):
+            value = cache.get(key)
+            assert value is None or value == str(key).encode()
+
+
+class TestBlockLayoutProperties:
+    @given(
+        num_rows=st.integers(min_value=1, max_value=3000),
+        row_bytes=st.integers(min_value=9, max_value=BLOCK_SIZE),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_row_locatable_and_within_block(self, num_rows, row_bytes):
+        layout = BlockLayout([64 * 1024 * 1024])
+        layout.add_table("t", num_rows, row_bytes)
+        for row in (0, num_rows // 2, num_rows - 1):
+            location = layout.locate("t", row)
+            assert 0 <= location.offset < BLOCK_SIZE
+            assert location.offset + location.length <= BLOCK_SIZE
+            assert location.length == row_bytes
+
+    @given(
+        num_rows=st.integers(min_value=1, max_value=500),
+        row_bytes=st.integers(min_value=9, max_value=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_rows_never_overlap(self, num_rows, row_bytes):
+        layout = BlockLayout([64 * 1024 * 1024])
+        layout.add_table("t", num_rows, row_bytes)
+        sample = range(0, num_rows, max(num_rows // 20, 1))
+        seen = set()
+        for row in sample:
+            location = layout.locate("t", row)
+            key = (location.lba, location.offset)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestSGLProperties:
+    @given(
+        offset=st.integers(min_value=0, max_value=BLOCK_SIZE - 1),
+        length=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sub_block_transfer_bounds(self, offset, length):
+        assume(offset + length <= BLOCK_SIZE)
+        sgl = ScatterGatherList()
+        sgl.add(offset, length)
+        transferred = sgl.transferred_bytes(sub_block_enabled=True)
+        assert length <= transferred <= length + 8
+        assert sgl.transferred_bytes(sub_block_enabled=False) == BLOCK_SIZE
+
+
+class TestLocalityProperties:
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=500)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_temporal_cdf_is_a_cdf(self, trace):
+        unique_fraction, access_fraction = temporal_locality_cdf(trace)
+        assert np.all(np.diff(access_fraction) >= -1e-12)
+        assert access_fraction[-1] == pytest.approx(1.0)
+        assert np.all((access_fraction > 0) & (access_fraction <= 1.0 + 1e-12))
+        assert len(unique_fraction) == len(access_fraction)
+
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=500),
+        rows_per_block=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_spatial_ratio_bounded(self, trace, rows_per_block):
+        ratio = spatial_locality_ratio(trace, rows_per_block)
+        assert 0.0 < ratio <= 1.0

@@ -1,0 +1,47 @@
+"""Tests for latency targets and percentile helpers."""
+
+import pytest
+
+from repro.serving import LatencyTarget, latency_percentiles
+from repro.sim.units import MILLISECOND
+
+
+class TestLatencyTarget:
+    def test_met_by_fast_samples(self):
+        target = LatencyTarget(percentile=95, budget_seconds=10 * MILLISECOND)
+        assert target.met_by([1e-3] * 100)
+
+    def test_violated_by_slow_tail(self):
+        target = LatencyTarget(percentile=99, budget_seconds=5 * MILLISECOND)
+        latencies = [1e-3] * 95 + [50e-3] * 5
+        assert not target.met_by(latencies)
+
+    def test_p95_target_tolerates_small_tail(self):
+        """The M1 use case targets p95, so occasional Nand Flash tail latency
+        does not violate the SLO (section 5.1)."""
+        target = LatencyTarget(percentile=95, budget_seconds=5 * MILLISECOND)
+        latencies = [1e-3] * 97 + [100e-3] * 3
+        assert target.met_by(latencies)
+        assert not LatencyTarget(99, 5 * MILLISECOND).met_by(latencies)
+
+    def test_headroom_sign(self):
+        target = LatencyTarget(95, 10 * MILLISECOND)
+        assert target.headroom([1e-3] * 10) > 0
+        assert target.headroom([20e-3] * 10) < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyTarget(percentile=0)
+        with pytest.raises(ValueError):
+            LatencyTarget(budget_seconds=0)
+
+
+class TestLatencyPercentiles:
+    def test_reports_expected_keys(self):
+        stats = latency_percentiles([1.0, 2.0, 3.0])
+        assert set(stats) == {"mean", "p50", "p95", "p99"}
+        assert stats["p50"] <= stats["p95"] <= stats["p99"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_percentiles([])

@@ -1,0 +1,87 @@
+"""Tests for the multi-tenancy model (section 5.3, Table 11)."""
+
+import pytest
+
+from repro.serving import HW_FA, HW_FAO, MultiTenancyScenario, evaluate_multi_tenancy
+from repro.serving.multitenancy import compare_multi_tenancy
+from repro.sim.units import GB
+
+
+def _scenarios(compute_fraction=0.225, model_capacity=160 * GB, cache_bytes=20 * GB):
+    baseline = MultiTenancyScenario(
+        platform=HW_FA,
+        model_dram_bytes=model_capacity,
+        model_sm_bytes=0.0,
+        model_compute_fraction=compute_fraction,
+        use_sdm=False,
+    )
+    with_sdm = MultiTenancyScenario(
+        platform=HW_FAO,
+        model_dram_bytes=cache_bytes,
+        model_sm_bytes=model_capacity - cache_bytes,
+        model_compute_fraction=compute_fraction,
+        use_sdm=True,
+    )
+    return baseline, with_sdm
+
+
+class TestMultiTenancy:
+    def test_baseline_is_memory_bound(self):
+        baseline, _ = _scenarios()
+        result = evaluate_multi_tenancy(baseline)
+        assert result.models_by_memory < result.models_by_compute
+        assert result.utilisation < 0.75
+
+    def test_sdm_is_compute_bound(self):
+        _, with_sdm = _scenarios()
+        result = evaluate_multi_tenancy(with_sdm)
+        assert result.models_by_memory > result.models_by_compute
+        assert result.utilisation > 0.85
+
+    def test_sdm_reduces_fleet_power_per_work(self):
+        baseline, with_sdm = _scenarios()
+        base_result, sdm_result = compare_multi_tenancy(baseline, with_sdm)
+        saving = 1.0 - sdm_result.fleet_power_per_work / base_result.fleet_power_per_work
+        assert saving > 0.2  # the paper reports up to 29%
+
+    def test_utilisation_capped_at_one(self):
+        scenario = MultiTenancyScenario(
+            platform=HW_FAO,
+            model_dram_bytes=1 * GB,
+            model_sm_bytes=1 * GB,
+            model_compute_fraction=0.9,
+            use_sdm=True,
+        )
+        assert evaluate_multi_tenancy(scenario).utilisation <= 1.0
+
+    def test_sm_capacity_can_bound_colocation(self):
+        scenario = MultiTenancyScenario(
+            platform=HW_FAO,
+            model_dram_bytes=1 * GB,
+            model_sm_bytes=1000 * GB,
+            model_compute_fraction=0.01,
+            use_sdm=True,
+        )
+        result = evaluate_multi_tenancy(scenario)
+        assert result.models_by_memory == pytest.approx(
+            HW_FAO.total_sm_capacity_bytes / (1000 * GB)
+        )
+        assert result.models_per_host == result.models_by_memory
+
+    def test_zero_utilisation_rejected(self):
+        scenario = MultiTenancyScenario(
+            platform=HW_FA,
+            model_dram_bytes=1e15,
+            model_sm_bytes=0.0,
+            model_compute_fraction=0.5,
+        )
+        with pytest.raises(ValueError):
+            evaluate_multi_tenancy(scenario)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            MultiTenancyScenario(HW_FA, -1, 0, 0.5)
+        with pytest.raises(ValueError):
+            MultiTenancyScenario(HW_FA, 1, 0, 0.0)
+        with pytest.raises(ValueError):
+            MultiTenancyScenario(HW_FA, 1, 0, 0.5, dram_reserved_bytes=-1)

@@ -1,0 +1,38 @@
+"""Tests for the scale-out deployment model."""
+
+import pytest
+
+from repro.serving import HW_AN, HW_S, PowerModel, plan_scale_out
+from repro.sim.units import GB
+
+
+class TestPlanScaleOut:
+    def test_one_helper_per_five_main_hosts(self):
+        plan = plan_scale_out(HW_AN, HW_S, num_main_hosts=1500, main_hosts_per_helper=5)
+        assert plan.num_helper_hosts == 300
+        assert plan.total_hosts == 1800
+
+    def test_total_power_matches_table9_scale_out_row(self):
+        plan = plan_scale_out(HW_AN, HW_S, num_main_hosts=1500)
+        assert plan.total_power(PowerModel()) == pytest.approx(1575)
+
+    def test_capacity_requirement_can_force_more_helpers(self):
+        plan = plan_scale_out(
+            HW_AN, HW_S, num_main_hosts=10, user_capacity_bytes=1000 * GB
+        )
+        # 1000GB of user embeddings do not fit the 2 helpers implied by the ratio.
+        assert plan.num_helper_hosts >= 1000 * GB // HW_S.dram_bytes
+
+    def test_failure_domain_larger_than_scale_up(self):
+        plan = plan_scale_out(HW_AN, HW_S, num_main_hosts=100)
+        assert plan.failure_domain_factor > 1.0
+
+    def test_remote_fetch_latency_recorded(self):
+        plan = plan_scale_out(HW_AN, HW_S, num_main_hosts=10, remote_fetch_latency=1e-3)
+        assert plan.remote_fetch_latency == pytest.approx(1e-3)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_scale_out(HW_AN, HW_S, num_main_hosts=0)
+        with pytest.raises(ValueError):
+            plan_scale_out(HW_AN, HW_S, num_main_hosts=10, main_hosts_per_helper=0)

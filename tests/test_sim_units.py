@@ -1,0 +1,72 @@
+"""Tests for unit constants and formatting helpers."""
+
+import pytest
+
+from repro.sim.units import (
+    BLOCK_SIZE,
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    TB,
+    TIB,
+    format_bytes,
+    format_time,
+)
+
+
+class TestConstants:
+    def test_decimal_units_scale_by_1000(self):
+        assert MB == 1000 * KB
+        assert GB == 1000 * MB
+        assert TB == 1000 * GB
+
+    def test_binary_units_scale_by_1024(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+        assert TIB == 1024 * GIB
+
+    def test_block_size_is_4kib(self):
+        assert BLOCK_SIZE == 4096
+
+    def test_time_units(self):
+        assert SECOND == 1.0
+        assert MILLISECOND == pytest.approx(1e-3)
+        assert MICROSECOND == pytest.approx(1e-6)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+
+    def test_kib(self):
+        assert format_bytes(4096) == "4.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(3 * MIB) == "3.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(2 * GIB) == "2.0 GiB"
+
+    def test_huge_values_use_tib(self):
+        assert "TiB" in format_bytes(5 * TIB)
+        assert "TiB" in format_bytes(5000 * TIB)
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert format_time(2.5) == "2.500 s"
+
+    def test_milliseconds(self):
+        assert format_time(0.012) == "12.0 ms"
+
+    def test_microseconds(self):
+        assert format_time(25e-6) == "25.0 us"
+
+    def test_nanoseconds(self):
+        assert format_time(300e-9) == "300.0 ns"

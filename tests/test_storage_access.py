@@ -1,0 +1,111 @@
+"""Tests for the DIRECT-IO and mmap access paths."""
+
+import pytest
+
+from repro.sim.units import BLOCK_SIZE, GB
+from repro.storage import (
+    BlockLayout,
+    DirectIOReader,
+    IOEngine,
+    IOEngineConfig,
+    MmapReader,
+    SimulatedDevice,
+    nand_flash_spec,
+)
+
+
+def _setup(reader_cls, **reader_kwargs):
+    device = SimulatedDevice(nand_flash_spec(1 * GB), seed=0)
+    layout = BlockLayout([device.spec.capacity_bytes])
+    layout.add_table("t", num_rows=1024, row_bytes=128)
+    # Write recognisable data for row 7.
+    location = layout.locate("t", 7)
+    device.write_block(location.lba, bytes([7] * 128), offset=location.offset)
+    engine = IOEngine([device], IOEngineConfig())
+    return reader_cls(engine, layout, **reader_kwargs), device
+
+
+class TestDirectIOReader:
+    def test_reads_correct_row_data(self):
+        reader, _ = _setup(DirectIOReader)
+        results = reader.read_rows("t", [7], start_time=0.0)
+        assert results[0].data == bytes([7] * 128)
+
+    def test_only_row_bytes_consume_fm(self):
+        reader, _ = _setup(DirectIOReader)
+        result = reader.read_rows("t", [7], 0.0)[0]
+        assert result.fm_bytes_consumed == 128
+        assert reader.fm_footprint_bytes() == 0
+
+    def test_latency_positive_and_matches_completion(self):
+        reader, _ = _setup(DirectIOReader)
+        result = reader.read_rows("t", [3], 0.5)[0]
+        assert result.latency > 0
+        assert result.completion_time == pytest.approx(0.5 + result.latency)
+
+    def test_multiple_rows_return_in_request_order(self):
+        reader, _ = _setup(DirectIOReader)
+        results = reader.read_rows("t", [3, 7, 1], 0.0)
+        assert [r.row_index for r in results] == [3, 7, 1]
+
+
+class TestMmapReader:
+    def test_page_fault_then_hit(self):
+        reader, _ = _setup(MmapReader)
+        first = reader.read_rows("t", [7], 0.0)[0]
+        second = reader.read_rows("t", [7], first.completion_time)[0]
+        assert reader.page_faults == 1
+        assert reader.page_hits == 1
+        assert second.latency == 0.0
+
+    def test_rows_in_same_block_share_a_fault(self):
+        reader, _ = _setup(MmapReader)
+        # rows 0 and 1 live in the same 4KiB block (128B rows).
+        reader.read_rows("t", [0, 1], 0.0)
+        assert reader.page_faults == 1
+        assert reader.page_hits == 1
+
+    def test_page_fault_transfers_whole_block(self):
+        reader, _ = _setup(MmapReader)
+        result = reader.read_rows("t", [7], 0.0)[0]
+        assert result.transferred_bytes == BLOCK_SIZE
+        assert result.fm_bytes_consumed == BLOCK_SIZE
+
+    def test_mmap_fm_footprint_counts_resident_pages(self):
+        reader, _ = _setup(MmapReader)
+        reader.read_rows("t", [0], 0.0)
+        reader.read_rows("t", [100], 0.0)
+        assert reader.fm_footprint_bytes() == 2 * BLOCK_SIZE
+
+    def test_page_cache_eviction_bounds_footprint(self):
+        reader, _ = _setup(MmapReader, page_cache_capacity_bytes=2 * BLOCK_SIZE)
+        # touch rows in 4 different blocks
+        for row in (0, 40, 80, 120):
+            reader.read_rows("t", [row], 0.0)
+        assert reader.fm_footprint_bytes() <= 2 * BLOCK_SIZE
+
+    def test_mmap_data_matches_direct_io(self):
+        direct, _ = _setup(DirectIOReader)
+        mapped, _ = _setup(MmapReader)
+        assert (
+            direct.read_rows("t", [7], 0.0)[0].data
+            == mapped.read_rows("t", [7], 0.0)[0].data
+        )
+
+    def test_mmap_slower_than_direct_io_for_cold_reads(self):
+        """Section 4.1: mmap showed ~3x higher access latency."""
+        direct, _ = _setup(DirectIOReader)
+        mapped, _ = _setup(MmapReader, latency_factor=3.0)
+        direct_lat = direct.read_rows("t", [9], 0.0)[0].latency
+        mapped_lat = mapped.read_rows("t", [9], 0.0)[0].latency
+        assert mapped_lat > 2.0 * direct_lat
+
+    def test_invalid_latency_factor_rejected(self):
+        device = SimulatedDevice(nand_flash_spec(1 * GB))
+        layout = BlockLayout([device.spec.capacity_bytes])
+        layout.add_table("t", 16, 128)
+        engine = IOEngine([device])
+        with pytest.raises(ValueError):
+            MmapReader(engine, layout, latency_factor=0.5)
+        with pytest.raises(ValueError):
+            MmapReader(engine, layout, page_cache_capacity_bytes=0)

@@ -1,0 +1,146 @@
+"""Tests for the simulated SM device."""
+
+import pytest
+
+from repro.sim.units import BLOCK_SIZE, GB
+from repro.storage import (
+    ScatterGatherList,
+    SimulatedDevice,
+    nand_flash_spec,
+    optane_ssd_spec,
+)
+
+
+def _make_device(spec_factory=nand_flash_spec, capacity=1 * GB, seed=0):
+    return SimulatedDevice(spec_factory(capacity), seed=seed)
+
+
+def _single_range_sgl(offset, length):
+    sgl = ScatterGatherList()
+    sgl.add(offset, length)
+    return sgl
+
+
+class TestDeviceData:
+    def test_read_returns_written_bytes(self):
+        device = _make_device()
+        payload = bytes(range(64))
+        device.write_block(3, payload, offset=128)
+        assert device.read_block_data(3, 128, 64) == payload
+
+    def test_unwritten_blocks_read_as_zeros(self):
+        device = _make_device()
+        assert device.read_block_data(7, 0, 16) == bytes(16)
+
+    def test_write_beyond_block_rejected(self):
+        device = _make_device()
+        with pytest.raises(ValueError):
+            device.write_block(0, bytes(10), offset=BLOCK_SIZE - 4)
+
+    def test_lba_out_of_range_rejected(self):
+        device = _make_device(capacity=BLOCK_SIZE * 4)
+        with pytest.raises(IndexError):
+            device.write_block(4, b"x")
+        with pytest.raises(IndexError):
+            device.read_block_data(100)
+
+    def test_num_blocks_derived_from_capacity(self):
+        device = _make_device(capacity=BLOCK_SIZE * 10)
+        assert device.num_blocks == 10
+
+    def test_write_stats_accumulate(self):
+        device = _make_device()
+        device.write_block(0, bytes(100))
+        device.write_block(1, bytes(50))
+        assert device.stats.writes == 2
+        assert device.stats.bytes_written == 150
+
+
+class TestDeviceReadTiming:
+    def test_read_returns_requested_data_and_positive_latency(self):
+        device = _make_device()
+        device.write_block(0, bytes([7] * 256))
+        data, completion, transferred = device.schedule_read(
+            0, _single_range_sgl(0, 256), arrival_time=0.0
+        )
+        assert data == bytes([7] * 256)
+        assert completion > 0.0
+        assert transferred >= 256
+
+    def test_sub_block_read_transfers_less_than_full_block(self):
+        device = _make_device()
+        _, _, with_sub = device.schedule_read(0, _single_range_sgl(0, 128), 0.0, True)
+        _, _, without_sub = device.schedule_read(0, _single_range_sgl(0, 128), 0.0, False)
+        assert with_sub < without_sub
+        assert without_sub == BLOCK_SIZE
+
+    def test_unloaded_latency_close_to_base_latency(self):
+        device = _make_device(optane_ssd_spec, capacity=10 * GB)
+        _, completion, _ = device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
+        assert completion < 5 * device.spec.base_read_latency
+
+    def test_latency_grows_when_saturated(self):
+        device = _make_device(nand_flash_spec, capacity=1 * GB, seed=1)
+        # Submit a large burst at t=0: the queue builds and the last IOs see
+        # much higher latency than the first.
+        completions = []
+        for _ in range(2000):
+            _, completion, _ = device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
+            completions.append(completion)
+        assert completions[-1] > completions[0] * 2
+
+    def test_throughput_capped_at_max_iops(self):
+        device = _make_device(nand_flash_spec, capacity=1 * GB)
+        count = 5000
+        last_completion = 0.0
+        for _ in range(count):
+            _, completion, _ = device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
+            last_completion = max(last_completion, completion)
+        achieved_iops = count / last_completion
+        assert achieved_iops <= device.spec.max_read_iops * 1.05
+
+    def test_arrival_time_respected(self):
+        device = _make_device()
+        _, completion, _ = device.schedule_read(0, _single_range_sgl(0, 64), arrival_time=1.0)
+        assert completion > 1.0
+
+    def test_negative_arrival_rejected(self):
+        device = _make_device()
+        with pytest.raises(ValueError):
+            device.schedule_read(0, _single_range_sgl(0, 64), arrival_time=-1.0)
+
+    def test_read_stats_and_amplification(self):
+        device = _make_device()
+        device.schedule_read(0, _single_range_sgl(0, 128), 0.0, sub_block_enabled=False)
+        assert device.stats.reads == 1
+        assert device.stats.bytes_requested == 128
+        assert device.stats.bytes_transferred == BLOCK_SIZE
+        assert device.stats.read_amplification == pytest.approx(BLOCK_SIZE / 128)
+
+    def test_reset_stats(self):
+        device = _make_device()
+        device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
+        device.reset_stats()
+        assert device.stats.reads == 0
+
+    def test_nand_exhibits_tail_latency_events(self):
+        device = _make_device(nand_flash_spec, capacity=1 * GB, seed=3)
+        for _ in range(5000):
+            device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
+        assert device.stats.tail_events > 0
+
+
+class TestDeviceWriteTiming:
+    def test_write_completion_after_arrival(self):
+        device = _make_device()
+        completion = device.schedule_write(0, bytes(4096), arrival_time=0.5)
+        assert completion > 0.5
+
+    def test_outstanding_at(self):
+        device = _make_device()
+        device.schedule_read(0, _single_range_sgl(0, 64), 0.0)
+        assert device.outstanding_at(0.0) >= 0
+
+    def test_expected_latency_delegates_to_model(self):
+        device = _make_device()
+        assert device.expected_latency(0.0) >= device.spec.base_read_latency

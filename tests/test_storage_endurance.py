@@ -1,0 +1,78 @@
+"""Tests for the endurance / model-update-interval model."""
+
+import pytest
+
+from repro.sim.units import GB, TB
+from repro.storage import EnduranceModel, nand_flash_spec, optane_ssd_spec, update_interval_days
+
+
+class TestUpdateIntervalFormula:
+    def test_paper_formula(self):
+        # 365 * ModelSize / (DWPD * Capacity)
+        interval = update_interval_days(100 * GB, dwpd=5.0, sm_capacity_bytes=4 * TB)
+        assert interval == pytest.approx(365 * 100 * GB / (5.0 * 4 * TB))
+
+    def test_higher_dwpd_shortens_interval(self):
+        low = update_interval_days(100 * GB, 5.0, 2 * TB)
+        high = update_interval_days(100 * GB, 100.0, 2 * TB)
+        assert high < low
+
+    def test_bigger_model_needs_longer_interval(self):
+        small = update_interval_days(100 * GB, 5.0, 2 * TB)
+        big = update_interval_days(1 * TB, 5.0, 2 * TB)
+        assert big > small
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            update_interval_days(0, 5.0, TB)
+        with pytest.raises(ValueError):
+            update_interval_days(GB, 0, TB)
+        with pytest.raises(ValueError):
+            update_interval_days(GB, 5.0, 0)
+
+
+class TestEnduranceModel:
+    def test_lifetime_budget(self):
+        model = EnduranceModel(nand_flash_spec(2 * TB), lifetime_years=5)
+        expected = 5.0 * 2 * TB * 5 * 365
+        assert model.lifetime_write_budget_bytes == pytest.approx(expected)
+
+    def test_life_consumed_fraction(self):
+        model = EnduranceModel(nand_flash_spec(2 * TB))
+        model.record_write(model.lifetime_write_budget_bytes / 4)
+        assert model.life_consumed_fraction == pytest.approx(0.25)
+
+    def test_negative_write_rejected(self):
+        with pytest.raises(ValueError):
+            EnduranceModel(nand_flash_spec()).record_write(-1)
+
+    def test_min_update_interval_scales_with_update_size(self):
+        model = EnduranceModel(nand_flash_spec(2 * TB))
+        small = model.min_update_interval_seconds(100 * GB)
+        large = model.min_update_interval_seconds(1 * TB)
+        assert large == pytest.approx(10 * small)
+
+    def test_optane_supports_much_more_frequent_updates_than_nand(self):
+        """Section 3: Optane endurance is high enough for frequent updates."""
+        nand = EnduranceModel(nand_flash_spec(2 * TB))
+        optane = EnduranceModel(optane_ssd_spec(2 * TB))
+        update_bytes = 100 * GB
+        assert (
+            optane.min_update_interval_seconds(update_bytes)
+            < nand.min_update_interval_seconds(update_bytes) / 10
+        )
+
+    def test_supports_update_interval(self):
+        model = EnduranceModel(optane_ssd_spec(400 * GB))
+        minimum = model.min_update_interval_seconds(100 * GB)
+        assert model.supports_update_interval(100 * GB, minimum * 2)
+        assert not model.supports_update_interval(100 * GB, minimum / 2)
+
+    def test_invalid_interval_rejected(self):
+        model = EnduranceModel(nand_flash_spec())
+        with pytest.raises(ValueError):
+            model.supports_update_interval(GB, 0)
+        with pytest.raises(ValueError):
+            model.min_update_interval_seconds(0)
+        with pytest.raises(ValueError):
+            EnduranceModel(nand_flash_spec(), lifetime_years=0)

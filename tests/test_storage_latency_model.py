@@ -1,0 +1,91 @@
+"""Tests for the analytic loaded-latency model (Figure 3 behaviour)."""
+
+import pytest
+
+from repro.sim.units import MICROSECOND
+from repro.storage import LoadedLatencyModel, nand_flash_spec, optane_ssd_spec
+
+
+class TestLoadedLatency:
+    def test_unloaded_latency_close_to_base(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        latency = model.expected_latency(offered_iops=0.0)
+        assert latency >= model.spec.base_read_latency
+        assert latency <= model.spec.base_read_latency * 1.5
+
+    def test_latency_monotonically_increases_with_load(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        max_iops = model.spec.max_read_iops
+        latencies = [
+            model.expected_latency(load * max_iops) for load in (0.1, 0.5, 0.8, 0.95)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_latency_blows_up_near_saturation(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        low = model.expected_latency(0.2 * model.spec.max_read_iops)
+        high = model.expected_latency(0.98 * model.spec.max_read_iops)
+        assert high > 3 * low
+
+    def test_optane_stays_in_tens_of_microseconds_at_moderate_load(self):
+        model = LoadedLatencyModel(optane_ssd_spec())
+        latency = model.expected_latency(0.5 * model.spec.max_read_iops)
+        assert latency < 100 * MICROSECOND
+
+    def test_optane_faster_than_nand_at_same_absolute_load(self):
+        nand = LoadedLatencyModel(nand_flash_spec())
+        optane = LoadedLatencyModel(optane_ssd_spec())
+        offered = 0.4e6  # 400 kIOPS: most of Nand's ceiling, a tenth of Optane's
+        assert optane.expected_latency(offered) < nand.expected_latency(offered)
+
+    def test_utilisation_computation(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        assert model.utilisation(0.25e6) == pytest.approx(0.5)
+
+    def test_negative_offered_iops_rejected(self):
+        with pytest.raises(ValueError):
+            LoadedLatencyModel(nand_flash_spec()).utilisation(-1.0)
+
+    def test_transfer_time_scales_with_bytes(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        assert model.transfer_time(8192) == pytest.approx(2 * model.transfer_time(4096))
+
+    def test_negative_transfer_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LoadedLatencyModel(nand_flash_spec()).transfer_time(-1)
+
+
+class TestMaxIopsWithinLatency:
+    def test_generous_budget_allows_near_max_iops(self):
+        model = LoadedLatencyModel(optane_ssd_spec())
+        allowed = model.max_iops_within_latency(5e-3)
+        assert allowed > 0.9 * model.spec.max_read_iops
+
+    def test_tight_budget_forces_underutilisation_of_nand(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        allowed = model.max_iops_within_latency(150 * MICROSECOND)
+        assert 0 < allowed < model.spec.max_read_iops
+
+    def test_impossible_budget_returns_zero(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        assert model.max_iops_within_latency(1 * MICROSECOND) == 0.0
+
+    def test_returned_iops_actually_meets_budget(self):
+        model = LoadedLatencyModel(nand_flash_spec())
+        budget = 200 * MICROSECOND
+        allowed = model.max_iops_within_latency(budget)
+        assert model.expected_latency(allowed) <= budget * 1.001
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            LoadedLatencyModel(nand_flash_spec()).max_iops_within_latency(0.0)
+
+    def test_nand_must_be_underutilised_more_than_optane(self):
+        """Section 5.2: Nand must be considerably under-utilised to keep
+        latency low, Optane barely at all."""
+        budget = 150 * MICROSECOND
+        nand = LoadedLatencyModel(nand_flash_spec())
+        optane = LoadedLatencyModel(optane_ssd_spec())
+        nand_fraction = nand.max_iops_within_latency(budget) / nand.spec.max_read_iops
+        optane_fraction = optane.max_iops_within_latency(budget) / optane.spec.max_read_iops
+        assert optane_fraction > nand_fraction

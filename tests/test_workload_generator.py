@@ -1,0 +1,125 @@
+"""Tests for the query generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload import QueryGenerator, WorkloadConfig
+
+from helpers import small_model
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        config = WorkloadConfig()
+        assert config.item_batch > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(item_batch=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_users=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(sequence_repeat_probability=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(sequence_pool_size=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(pooling_factor_jitter=1.0)
+
+
+class TestQueryGenerator:
+    def test_queries_cover_all_tables(self):
+        model = small_model()
+        query = QueryGenerator(model, WorkloadConfig(item_batch=2)).generate_query()
+        assert set(query.user_indices) == {s.name for s in model.user_table_specs}
+        assert set(query.item_indices) == {s.name for s in model.item_table_specs}
+
+    def test_item_batch_respected(self):
+        model = small_model()
+        query = QueryGenerator(model, WorkloadConfig(item_batch=4)).generate_query()
+        assert query.item_batch == 4
+
+    def test_item_batch_override_per_call(self):
+        model = small_model()
+        generator = QueryGenerator(model, WorkloadConfig(item_batch=4))
+        assert generator.generate_query(item_batch=2).item_batch == 2
+
+    def test_indices_within_table_range(self):
+        model = small_model(num_rows=64)
+        queries = QueryGenerator(model, WorkloadConfig(item_batch=2)).generate(20)
+        for query in queries:
+            for name, indices in query.user_indices.items():
+                assert max(indices) < model.table(name).spec.num_rows
+
+    def test_indices_unique_within_request(self):
+        model = small_model()
+        queries = QueryGenerator(model, WorkloadConfig(item_batch=2)).generate(20)
+        for query in queries:
+            for indices in query.user_indices.values():
+                assert len(indices) == len(set(indices))
+
+    def test_pooling_factor_near_spec_average(self):
+        model = small_model()
+        generator = QueryGenerator(model, WorkloadConfig(item_batch=1))
+        queries = generator.generate(200)
+        spec = model.user_table_specs[0]
+        lengths = [len(q.user_indices[spec.name]) for q in queries]
+        assert abs(np.mean(lengths) - spec.avg_pooling_factor) < spec.avg_pooling_factor * 0.5
+
+    def test_deterministic_given_seed(self):
+        model = small_model()
+        a = QueryGenerator(model, WorkloadConfig(item_batch=2), seed=5).generate(5)
+        b = QueryGenerator(model, WorkloadConfig(item_batch=2), seed=5).generate(5)
+        for qa, qb in zip(a, b):
+            assert qa.user_indices == qb.user_indices
+            assert qa.user_id == qb.user_id
+
+    def test_query_ids_increment(self):
+        model = small_model()
+        queries = QueryGenerator(model, WorkloadConfig(item_batch=2)).generate(5)
+        assert [q.query_id for q in queries] == list(range(5))
+
+    def test_sequence_repetition_produces_exact_repeats(self):
+        model = small_model()
+        config = WorkloadConfig(item_batch=1, sequence_repeat_probability=0.5)
+        generator = QueryGenerator(model, config, seed=0)
+        queries = generator.generate(200)
+        table = model.user_table_specs[0].name
+        seen = set()
+        repeats = 0
+        for query in queries:
+            key = tuple(sorted(query.user_indices[table]))
+            if key in seen:
+                repeats += 1
+            seen.add(key)
+        assert repeats > 10
+
+    def test_zero_repeat_probability_rarely_repeats(self):
+        model = small_model(num_rows=4096)
+        config = WorkloadConfig(
+            item_batch=1,
+            sequence_repeat_probability=0.0,
+            user_reuse_probability=0.0,
+        )
+        generator = QueryGenerator(model, config, seed=0)
+        queries = generator.generate(100)
+        table = model.user_table_specs[0].name
+        keys = [tuple(sorted(q.user_indices[table])) for q in queries]
+        assert len(set(keys)) > 90
+
+    def test_access_trace_flattens_user_and_item_accesses(self):
+        model = small_model()
+        generator = QueryGenerator(model, WorkloadConfig(item_batch=2))
+        queries = generator.generate(10)
+        user_table = model.user_table_specs[0].name
+        item_table = model.item_table_specs[0].name
+        user_trace = generator.access_trace(queries, user_table)
+        item_trace = generator.access_trace(queries, item_table)
+        assert len(user_trace) == sum(len(q.user_indices[user_table]) for q in queries)
+        assert len(item_trace) == sum(
+            len(indices) for q in queries for indices in q.item_indices[item_table]
+        )
+
+    def test_invalid_generate_count_rejected(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            QueryGenerator(model).generate(0)

@@ -1,0 +1,87 @@
+"""Tests for temporal and spatial locality analysis (Figures 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ZipfGenerator,
+    spatial_locality_ratio,
+    spatial_locality_windows,
+    temporal_locality_cdf,
+    top_fraction_coverage,
+)
+
+
+class TestTemporalLocality:
+    def test_cdf_monotonically_increases_to_one(self):
+        trace = ZipfGenerator(500, 1.1, seed=0).sample(5000).tolist()
+        unique_fraction, access_fraction = temporal_locality_cdf(trace)
+        assert np.all(np.diff(access_fraction) >= 0)
+        assert access_fraction[-1] == pytest.approx(1.0)
+        assert unique_fraction[-1] == pytest.approx(1.0)
+
+    def test_power_law_trace_shows_high_locality(self):
+        trace = ZipfGenerator(1000, 1.2, seed=0).sample(20_000).tolist()
+        assert top_fraction_coverage(trace, 0.1) > 0.5
+
+    def test_uniform_trace_shows_low_locality(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 1000, size=20_000).tolist()
+        assert top_fraction_coverage(trace, 0.1) < 0.2
+
+    def test_item_like_distribution_more_local_than_user_like(self):
+        """Figure 4: item embeddings show more locality than user embeddings."""
+        user_trace = ZipfGenerator(1000, 0.9, seed=0).sample(20_000).tolist()
+        item_trace = ZipfGenerator(1000, 1.3, seed=0).sample(20_000).tolist()
+        assert top_fraction_coverage(item_trace, 0.1) > top_fraction_coverage(user_trace, 0.1)
+
+    def test_single_value_trace(self):
+        unique_fraction, access_fraction = temporal_locality_cdf([7] * 100)
+        assert len(unique_fraction) == 1
+        assert access_fraction[0] == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            temporal_locality_cdf([])
+        with pytest.raises(ValueError):
+            top_fraction_coverage([1], 0.0)
+
+
+class TestSpatialLocality:
+    def test_sequential_access_has_perfect_spatial_locality(self):
+        rows_per_block = 32
+        trace = list(range(320))  # fills 10 blocks completely
+        assert spatial_locality_ratio(trace, rows_per_block) == pytest.approx(1.0)
+
+    def test_strided_access_has_no_spatial_locality(self):
+        rows_per_block = 32
+        trace = [i * rows_per_block for i in range(100)]  # one row per block
+        assert spatial_locality_ratio(trace, rows_per_block) == pytest.approx(1 / 32)
+
+    def test_zipf_over_shuffled_ids_has_low_spatial_locality(self):
+        """The Figure 5 observation: strong temporal locality but accessed
+        rows scatter across blocks."""
+        trace = ZipfGenerator(100_000, 1.05, seed=0).sample(20_000).tolist()
+        ratio = spatial_locality_ratio(trace, rows_per_block=32)
+        assert ratio < 0.3
+
+    def test_ratio_clamped_to_one(self):
+        assert spatial_locality_ratio([0, 0, 0, 1], 2) <= 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_locality_ratio([], 32)
+        with pytest.raises(ValueError):
+            spatial_locality_ratio([1], 0)
+
+    def test_windows_returns_requested_count(self):
+        trace = ZipfGenerator(1000, 1.1, seed=0).sample(5000).tolist()
+        windows = spatial_locality_windows(trace, rows_per_block=32, num_windows=8)
+        assert len(windows) == 8
+        assert all(0 < ratio <= 1.0 for ratio in windows)
+
+    def test_windows_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_locality_windows([], 32)
+        with pytest.raises(ValueError):
+            spatial_locality_windows([1], 32, num_windows=0)

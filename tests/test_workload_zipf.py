@@ -1,0 +1,79 @@
+"""Tests for the Zipf index generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload import ZipfGenerator
+
+
+class TestZipfGenerator:
+    def test_samples_within_range(self):
+        generator = ZipfGenerator(num_items=100, alpha=1.1, seed=0)
+        samples = generator.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_reproducible(self):
+        a = ZipfGenerator(100, 1.1, seed=3).sample(50)
+        b = ZipfGenerator(100, 1.1, seed=3).sample(50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_skew_concentrates_accesses(self):
+        generator = ZipfGenerator(1000, alpha=1.2, seed=0)
+        samples = generator.sample(20_000)
+        _, counts = np.unique(samples, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top_10pct = counts[: max(len(counts) // 10, 1)].sum() / counts.sum()
+        assert top_10pct > 0.5
+
+    def test_higher_alpha_is_more_skewed(self):
+        low = ZipfGenerator(1000, alpha=0.6, seed=0)
+        high = ZipfGenerator(1000, alpha=1.4, seed=0)
+        assert high.expected_top_fraction_coverage(0.1) > low.expected_top_fraction_coverage(0.1)
+
+    def test_unique_sampling_has_no_duplicates(self):
+        generator = ZipfGenerator(200, 1.05, seed=0)
+        samples = generator.sample(50, unique=True)
+        assert len(set(samples.tolist())) == 50
+
+    def test_unique_sampling_more_than_population_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, 1.0).sample(11, unique=True)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, 1.0).sample(0)
+
+    def test_invalid_constructor_args_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, 0.0)
+
+    def test_expected_coverage_bounds(self):
+        generator = ZipfGenerator(100, 1.0)
+        assert generator.expected_top_fraction_coverage(1.0) == pytest.approx(1.0)
+        assert 0 < generator.expected_top_fraction_coverage(0.01) < 1.0
+        with pytest.raises(ValueError):
+            generator.expected_top_fraction_coverage(0.0)
+
+    def test_shuffled_ids_scatter_popular_rows(self):
+        """With id shuffling the hottest rows are not the low ids (this is
+        what destroys spatial locality in Figure 5)."""
+        generator = ZipfGenerator(10_000, 1.2, seed=0, shuffle_ids=True)
+        samples = generator.sample(5000)
+        values, counts = np.unique(samples, return_counts=True)
+        hottest = values[np.argmax(counts)]
+        assert hottest > 100  # overwhelmingly likely with shuffling
+
+    def test_unshuffled_ids_put_hottest_first(self):
+        generator = ZipfGenerator(10_000, 1.2, seed=0, shuffle_ids=False)
+        samples = generator.sample(5000)
+        values, counts = np.unique(samples, return_counts=True)
+        assert values[np.argmax(counts)] < 10
+
+    def test_popularity_rank(self):
+        generator = ZipfGenerator(100, 1.0, seed=0, shuffle_ids=False)
+        assert generator.popularity_rank_of(0) == 0
+        with pytest.raises(ValueError):
+            generator.popularity_rank_of(1000)
