@@ -3,45 +3,46 @@
 (a) user tables, (b) item tables (more skewed), (c) the same user tables as
 seen by a single host under user-sticky routing (higher locality).  Reported
 as the access share covered by the hottest 1% / 10% / 50% of accessed rows.
+
+The workload is declared as a :class:`repro.ScenarioSpec` and generated
+through the :class:`repro.Session` facade; the backend is never built (the
+session is lazy), only the query stream and its access traces are used.
 """
 
-from repro.analysis import format_table
-from repro.dlrm import M2_SPEC, build_scaled_model
-from repro.workload import (
-    QueryGenerator,
-    RequestRouter,
-    RoutingPolicy,
-    WorkloadConfig,
-    top_fraction_coverage,
-)
+from repro import ScenarioSpec, Session, format_table
+from repro.api import ModelChoice, WorkloadChoice
+from repro.workload import RequestRouter, RoutingPolicy, top_fraction_coverage
 
 from _util import emit, run_once
 
-
-def build_figure4():
-    model = build_scaled_model(
-        M2_SPEC, max_tables_per_group=4, max_rows_per_table=4096, item_batch=4, seed=0
-    )
-    config = WorkloadConfig(
+FIGURE4_SPEC = ScenarioSpec(
+    name="fig4-temporal-locality",
+    model=ModelChoice(spec="M2", max_tables_per_group=4, max_rows_per_table=4096, item_batch=4),
+    workload=WorkloadChoice(
+        num_queries=600,
         item_batch=4,
         num_users=400,
         user_zipf_alpha=1.2,
         user_reuse_probability=0.8,
         sequence_repeat_probability=0.05,
-    )
-    generator = QueryGenerator(model, config, seed=0)
-    queries = generator.generate(600)
+    ),
+)
 
-    user_table = model.user_table_specs[0].name
-    item_table = model.item_table_specs[0].name
 
-    user_trace = generator.access_trace(queries, user_table)
-    item_trace = generator.access_trace(queries, item_table)
+def build_figure4():
+    session = Session(FIGURE4_SPEC)
+    queries = session.queries()
+
+    user_table = session.model.user_table_specs[0].name
+    item_table = session.model.item_table_specs[0].name
+
+    user_trace = session.access_trace(user_table)
+    item_trace = session.access_trace(item_table)
 
     router = RequestRouter(4, RoutingPolicy.USER_STICKY)
     per_host = router.split(queries)
     host_queries = max(per_host.values(), key=len)
-    host_trace = generator.access_trace(host_queries, user_table)
+    host_trace = session.access_trace(user_table, queries=host_queries)
 
     rows = []
     for label, trace in (

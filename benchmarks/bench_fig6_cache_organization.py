@@ -5,18 +5,16 @@ Two parts:
    a fixed FM budget and CPU cost per million lookups;
  * direct-DRAM placement budget sweep for an inferenceEval-style workload
    (user batch == item batch), showing QPS improving as more of the hottest
-   tables are pinned in DRAM.
+   tables are pinned in DRAM.  The sweep is a one-line
+   :meth:`repro.Session.sweep` over the SDM backend's ``dram_budget_bytes``
+   option.
 """
 
-import numpy as np
-
-from repro.analysis import format_table
+from repro import ScenarioSpec, Session, format_table
+from repro.api import BackendChoice, ModelChoice, ServingChoice, WorkloadChoice
 from repro.cache import CPUOptimizedCache, MemoryOptimizedCache, UnifiedCacheConfig, UnifiedRowCache
-from repro.core import PlacementPolicy, SDMConfig, SoftwareDefinedMemory
-from repro.dlrm import ComputeSpec, InferenceEngine, M2_SPEC, build_scaled_model
-from repro.serving import ServingSimulator
+from repro.core import PlacementPolicy
 from repro.sim.units import MIB
-from repro.workload import QueryGenerator, WorkloadConfig
 
 from _util import emit, run_once
 
@@ -46,30 +44,34 @@ def _cache_organisation_rows():
 
 
 def _placement_sweep_rows():
-    model = build_scaled_model(
-        M2_SPEC, max_tables_per_group=4, max_rows_per_table=1024, item_batch=4, seed=1
-    )
-    user_bytes = sum(t.size_bytes for t in model.tables.values() if t.spec.is_user)
-    rows = []
-    for label, budget_fraction in (("0% DRAM budget", 0.0), ("25%", 0.25), ("50%", 0.5)):
-        sdm = SoftwareDefinedMemory(
-            model,
-            SDMConfig(
+    spec = ScenarioSpec(
+        name="fig6-placement-sweep",
+        model=ModelChoice(spec="M2", max_tables_per_group=4, max_rows_per_table=1024,
+                          item_batch=4, seed=1),
+        backend=BackendChoice(
+            name="sdm",
+            options=dict(
                 placement_policy=PlacementPolicy.FIXED_FM_SM,
-                dram_budget_bytes=int(user_bytes * budget_fraction),
                 row_cache_capacity_bytes=256 * 1024,
                 pooled_cache_enabled=False,
             ),
-        )
-        engine = InferenceEngine(model, ComputeSpec(), sdm)
+        ),
         # inferenceEval: user batch == item batch (> 1), more placement
         # sensitive than inference per the paper.
-        queries = QueryGenerator(
-            model, WorkloadConfig(item_batch=4, num_users=300), seed=2
-        ).generate(60)
-        result = ServingSimulator(engine).run(queries, warmup_queries=10)
-        rows.append([label, result.achieved_qps, result.mean_latency * 1e6])
-    return rows
+        workload=WorkloadChoice(num_queries=60, item_batch=4, num_users=300, seed=2),
+        serving=ServingChoice(concurrency=1, warmup_queries=10),
+    )
+    session = Session(spec)
+    user_bytes = sum(t.size_bytes for t in session.model.tables.values() if t.spec.is_user)
+    points = session.sweep(
+        "backend.options.dram_budget_bytes",
+        [int(user_bytes * fraction) for fraction in (0.0, 0.25, 0.5)],
+    )
+    labels = ("0% DRAM budget", "25%", "50%")
+    return [
+        [label, point.result.achieved_qps, point.result.latency["mean"] * 1e6]
+        for label, point in zip(labels, points)
+    ]
 
 
 def build_figure6():

@@ -5,22 +5,18 @@ Reproduces the deployment accounting: HW-SS serves half the per-host QPS at
 side facts: ~246 kIOPS raw demand, >90% steady-state hit rate (measured on
 the scaled model), <25 kIOPS sustained demand after the cache, and the DRAM
 saved per model.
+
+The whole scenario — scaled M1 on the SDM backend, steady-state measurement
+window, HW-SS fleet sizing against the HW-L baseline — is one
+:class:`repro.ScenarioSpec`; a single :meth:`repro.Session.run` yields both
+the measured hit rate and the Table 8 power comparison.
 """
 
-from repro.analysis import format_table
-from repro.core import SDMConfig, SoftwareDefinedMemory, iops_requirement
-from repro.dlrm import ComputeSpec, InferenceEngine, M1_SPEC, build_scaled_model
-from repro.serving import (
-    DeploymentScenario,
-    HW_L,
-    HW_SS,
-    PowerModel,
-    plan_deployment,
-)
-from repro.serving.power import power_saving
-from repro.sim.units import GB, MIB
+from repro import ScenarioSpec, Session, format_table
+from repro.api import BackendChoice, ModelChoice, ServingChoice, WorkloadChoice
+from repro.serving import HW_L, HW_SS
+from repro.sim.units import MIB
 from repro.storage import Technology
-from repro.workload import QueryGenerator, WorkloadConfig
 
 from _util import emit, run_once
 
@@ -30,57 +26,49 @@ TOTAL_QPS = HW_L_QPS * 1200  # the paper's 1200-host HW-L deployment
 SM_TABLES = 50
 AVG_POOLING = 42
 
-
-def _measured_hit_rate() -> float:
-    """Steady-state row-cache hit rate on the scaled M1 model."""
-    model = build_scaled_model(
-        M1_SPEC, max_tables_per_group=4, max_rows_per_table=8192, item_batch=2, seed=0
-    )
-    sdm = SoftwareDefinedMemory(
-        model,
-        SDMConfig(
+TABLE8_SPEC = ScenarioSpec(
+    name="table8-m1-power",
+    model=ModelChoice(spec="M1", max_tables_per_group=4, max_rows_per_table=8192, item_batch=2),
+    backend=BackendChoice(
+        name="sdm",
+        options=dict(
             device_technology=Technology.NAND_FLASH,
             row_cache_capacity_bytes=2 * MIB,
             pooled_cache_enabled=False,
         ),
-    )
-    engine = InferenceEngine(model, ComputeSpec(), sdm)
-    queries = QueryGenerator(
-        model,
-        WorkloadConfig(item_batch=2, num_users=1000, user_reuse_probability=0.7),
-        seed=0,
-    ).generate(400)
-    for query in queries:
-        engine.run_query(query)
-    sdm.reset_stats()
-    sdm.row_cache.reset_stats()
-    for query in queries[:100]:
-        engine.run_query(query)
-    return sdm.row_cache_hit_rate
+    ),
+    workload=WorkloadChoice(
+        num_queries=400, item_batch=2, num_users=1000, user_reuse_probability=0.7
+    ),
+    serving=ServingChoice(
+        concurrency=1,
+        # Warm the caches on 300 queries, then measure steady state only.
+        warmup_queries=300,
+        reset_stats_after_warmup=True,
+        platform="HW-SS",
+        qps_per_host=HW_SS_QPS,
+        baseline_platform="HW-L",
+        baseline_qps_per_host=HW_L_QPS,
+        fleet_qps=TOTAL_QPS,
+    ),
+)
 
 
 def build_table8():
-    power_model = PowerModel()
-    baseline = plan_deployment(
-        DeploymentScenario("HW-L", HW_L, qps_per_host=HW_L_QPS, total_qps=TOTAL_QPS),
-        power_model,
-    )
-    sdm_plan = plan_deployment(
-        DeploymentScenario("HW-SS + SDM", HW_SS, qps_per_host=HW_SS_QPS, total_qps=TOTAL_QPS),
-        power_model,
-    )
+    result = Session(TABLE8_SPEC).run()
+    power = result.power
 
     raw_iops = HW_SS_QPS * SM_TABLES * AVG_POOLING
-    hit_rate = _measured_hit_rate()
+    hit_rate = result.backend_stats["row cache hit rate"]
     steady_iops = raw_iops * (1.0 - hit_rate)
-    dram_saved_tb = (HW_L.dram_bytes - HW_SS.dram_bytes) * baseline.num_hosts / 1e12
+    dram_saved_tb = (HW_L.dram_bytes - HW_SS.dram_bytes) * power.baseline_num_hosts / 1e12
 
     return {
         "rows": [
-            ["HW-L", HW_L_QPS, 1.0, baseline.num_hosts, baseline.total_power],
-            ["HW-SS + SDM", HW_SS_QPS, 0.4, sdm_plan.num_hosts, sdm_plan.total_power],
+            ["HW-L", HW_L_QPS, 1.0, power.baseline_num_hosts, power.baseline_fleet_power],
+            ["HW-SS + SDM", HW_SS_QPS, 0.4, power.num_hosts, power.fleet_power],
         ],
-        "power_saving": power_saving(baseline.total_power, sdm_plan.total_power),
+        "power_saving": power.power_saving,
         "raw_iops": raw_iops,
         "hit_rate": hit_rate,
         "steady_iops": steady_iops,

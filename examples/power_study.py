@@ -1,6 +1,8 @@
 """Deployment power study: reproduce the paper's three serving scenarios.
 
-Walks through the fleet-level accounting of sections 5.1-5.3:
+Walks through the fleet-level accounting of sections 5.1-5.3, with the
+deployment comparisons declared as :class:`repro.ScenarioSpec` serving
+sections and evaluated through :meth:`repro.Session.power_summary`:
 
 * M1 -- replace dual-socket DRAM-only hosts (HW-L) with single-socket hosts
   plus Nand Flash (HW-SS + SDM): ~20% fleet power saving (Table 8).
@@ -17,61 +19,76 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis import format_table
-from repro.serving import (
-    DeploymentScenario,
-    HW_AN,
-    HW_AO,
-    HW_FA,
-    HW_FAO,
-    HW_L,
-    HW_S,
-    HW_SS,
-    MultiTenancyScenario,
-    PowerModel,
-    plan_deployment,
-    sm_bound_qps,
-    ssds_needed,
-)
+from repro import ScenarioSpec, Session, format_table
+from repro.api import ServingChoice
+from repro.serving import HW_FA, HW_FAO, MultiTenancyScenario, sm_bound_qps, ssds_needed
 from repro.serving.multitenancy import compare_multi_tenancy
-from repro.serving.power import power_saving
+from repro.serving.power import PowerModel
 from repro.sim.units import GB, MICROSECOND
 from repro.storage import nand_flash_spec, optane_ssd_spec
 
 
-def m1_study(power_model: PowerModel) -> None:
+def m1_study() -> None:
+    # One spec carries both sides of the Table 8 comparison: the HW-SS + SDM
+    # candidate and its HW-L DRAM-only baseline.
     total_qps = 240 * 1200
-    baseline = plan_deployment(DeploymentScenario("HW-L", HW_L, 240, total_qps), power_model)
-    sdm = plan_deployment(DeploymentScenario("HW-SS + SDM", HW_SS, 120, total_qps), power_model)
+    spec = ScenarioSpec(
+        name="M1: HW-SS + SDM vs HW-L",
+        serving=ServingChoice(
+            platform="HW-SS",
+            qps_per_host=120,
+            baseline_platform="HW-L",
+            baseline_qps_per_host=240,
+            fleet_qps=total_qps,
+        ),
+    )
+    power = Session(spec).power_summary()
     rows = [
-        ["HW-L (DRAM only)", 240, baseline.num_hosts, baseline.total_power],
-        ["HW-SS + SDM (Nand Flash)", 120, sdm.num_hosts, sdm.total_power],
+        ["HW-L (DRAM only)", 240, power.baseline_num_hosts, power.baseline_fleet_power],
+        ["HW-SS + SDM (Nand Flash)", 120, power.num_hosts, power.fleet_power],
     ]
     print(format_table(["scenario", "QPS/host", "hosts", "total power"], rows,
                        title="M1: simpler hardware (Table 8)", float_fmt=".0f"))
-    print(f"fleet power saving: {power_saving(baseline.total_power, sdm.total_power):.0%}\n")
+    print(f"fleet power saving: {power.power_saving:.0%}\n")
 
 
-def m2_study(power_model: PowerModel) -> None:
+def m2_study() -> None:
     total_qps = 450 * 1500
     lookups = 450 * 25
     budget = 100 * MICROSECOND
     nand_qps = min(sm_bound_qps(lookups, [nand_flash_spec(1e12)] * 2, 0.9, budget), 450)
-    scale_out = plan_deployment(
-        DeploymentScenario("scale-out", HW_AN, 450, total_qps, helper_platform=HW_S,
-                           helper_hosts_per_host=0.2),
-        power_model,
+
+    # HW-AO + SDM versus the scale-out baseline (HW-AN plus helper hosts).
+    optane_spec = ScenarioSpec(
+        name="M2: HW-AO + SDM vs scale-out",
+        serving=ServingChoice(
+            platform="HW-AO",
+            qps_per_host=450,
+            baseline_platform="HW-AN",
+            baseline_qps_per_host=450,
+            baseline_helper_platform="HW-S",
+            baseline_helper_hosts_per_host=0.2,
+            fleet_qps=total_qps,
+        ),
     )
-    nand = plan_deployment(DeploymentScenario("nand", HW_AN, nand_qps, total_qps), power_model)
-    optane = plan_deployment(DeploymentScenario("optane", HW_AO, 450, total_qps), power_model)
+    optane = Session(optane_spec).power_summary()
+    # Nand Flash cannot sustain 450 QPS/host within the latency budget, so its
+    # fleet is sized by the SM-bound QPS instead.
+    nand = Session(
+        ScenarioSpec(
+            name="M2: HW-AN + SDM (Nand)",
+            serving=ServingChoice(platform="HW-AN", qps_per_host=nand_qps, fleet_qps=total_qps),
+        )
+    ).power_summary()
+
     rows = [
-        ["HW-AN + ScaleOut", 450, scale_out.total_hosts, scale_out.total_power],
-        ["HW-AN + SDM (Nand)", round(nand_qps), nand.total_hosts, nand.total_power],
-        ["HW-AO + SDM (Optane)", 450, optane.total_hosts, optane.total_power],
+        ["HW-AN + ScaleOut", 450, optane.baseline_num_hosts, optane.baseline_fleet_power],
+        ["HW-AN + SDM (Nand)", round(nand_qps), nand.num_hosts, nand.fleet_power],
+        ["HW-AO + SDM (Optane)", 450, optane.num_hosts, optane.fleet_power],
     ]
     print(format_table(["scenario", "QPS/host", "hosts", "total power"], rows,
                        title="M2: avoiding scale-out (Table 9)", float_fmt=".0f"))
-    print(f"power saving vs scale-out: {power_saving(scale_out.total_power, optane.total_power):.1%}\n")
+    print(f"power saving vs scale-out: {optane.power_saving:.1%}\n")
 
 
 def m3_study(power_model: PowerModel) -> None:
@@ -96,10 +113,9 @@ def m3_study(power_model: PowerModel) -> None:
 
 
 def main() -> None:
-    power_model = PowerModel()
-    m1_study(power_model)
-    m2_study(power_model)
-    m3_study(power_model)
+    m1_study()
+    m2_study()
+    m3_study(PowerModel())
 
 
 if __name__ == "__main__":

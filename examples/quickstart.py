@@ -1,10 +1,15 @@
 """Quickstart: serve a scaled-down M1 model through Software Defined Memory.
 
-Builds a laptop-scale version of the paper's M1 model, places its user
-embedding tables on two simulated Nand Flash SSDs behind the FM row cache,
-runs a synthetic query stream, and verifies that tiered serving returns the
-same ranking scores as DRAM-only serving while reporting hit rates and
-latency.
+Declares the scenario once as a :class:`repro.ScenarioSpec` — a laptop-scale
+M1 with its user tables on two simulated Nand Flash SSDs behind the FM row
+cache, serving a synthetic power-law query stream — and runs it through the
+:class:`repro.Session` facade.  A second session with the ``dram`` backend
+verifies that tiered serving returns the same ranking scores as DRAM-only
+serving.
+
+The same scenario runs from the command line:
+
+    python -m repro run --model M1 --backend sdm
 
 Run with:  python examples/quickstart.py
 """
@@ -16,75 +21,58 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro.analysis import format_table
-from repro.core import SDMConfig, SoftwareDefinedMemory
-from repro.dlrm import (
-    ComputeSpec,
-    InMemoryBackend,
-    InferenceEngine,
-    M1_SPEC,
-    build_scaled_model,
-)
-from repro.serving import LatencyTarget, ServingSimulator
-from repro.sim.units import MIB, MILLISECOND, format_bytes
+from repro import BackendChoice, ScenarioSpec, Session
+from repro.sim.units import MIB, format_bytes
 from repro.storage import Technology
-from repro.workload import QueryGenerator, WorkloadConfig
 
-
-def main() -> None:
-    # 1. A scaled-down M1: same structure (user/item tables, pooling factors,
-    #    batched item lookups), row counts shrunk to run in seconds.
-    model = build_scaled_model(M1_SPEC, max_tables_per_group=4, max_rows_per_table=2048, item_batch=4)
-    print(f"model {model.name}: {len(model.tables)} tables, "
-          f"{format_bytes(model.embedding_size_bytes)} of embeddings")
-
-    # 2. The SDM backend: user tables on 2x Nand Flash, hot rows cached in FM.
-    sdm = SoftwareDefinedMemory(
-        model,
-        SDMConfig(
+QUICKSTART_SPEC = ScenarioSpec(
+    name="quickstart-m1",
+    # model: scaled-down M1 -- same structure (user/item tables, pooling
+    # factors, batched item lookups), row counts shrunk to run in seconds.
+    # backend: user tables on 2x Nand Flash, hot rows cached in FM.
+    backend=BackendChoice(
+        name="sdm",
+        options=dict(
             device_technology=Technology.NAND_FLASH,
             num_devices=2,
             row_cache_capacity_bytes=4 * MIB,
             pooled_cache_capacity_bytes=1 * MIB,
         ),
-    )
+    ),
+)
+
+
+def main() -> None:
+    session = Session(QUICKSTART_SPEC)
+    model = session.model
+    print(f"model {model.name}: {len(model.tables)} tables, "
+          f"{format_bytes(model.embedding_size_bytes)} of embeddings")
+
+    sdm = session.backend
     print(f"placement: {len(sdm.placement.sm_tables())} tables on SM "
           f"({format_bytes(sdm.sm_footprint_bytes())}), "
           f"FM footprint {format_bytes(sdm.fm_footprint_bytes())}")
 
-    # 3. A synthetic query stream with power-law locality and returning users.
-    compute = ComputeSpec()
-    engine = InferenceEngine(model, compute, user_backend=sdm)
-    queries = QueryGenerator(
-        model, WorkloadConfig(item_batch=4, num_users=200), seed=0
-    ).generate(200)
-
-    # 4. Verify tiered serving is numerically identical to DRAM-only serving.
-    reference_engine = InferenceEngine(model, compute, InMemoryBackend(model.tables, compute))
-    for query in queries[:5]:
+    # Verify tiered serving is numerically identical to DRAM-only serving:
+    # the same spec with the `dram` backend rebuilds an identical model.
+    reference_spec = ScenarioSpec.from_dict(
+        {**QUICKSTART_SPEC.to_dict(), "backend": {"name": "dram"}}
+    )
+    reference = Session(reference_spec)
+    for query in session.queries()[:5]:
         np.testing.assert_allclose(
-            engine.run_query(query).scores,
-            reference_engine.run_query(query).scores,
+            session.engine.run_query(query).scores,
+            reference.engine.run_query(query).scores,
             rtol=1e-4,
             atol=1e-5,
         )
     print("scores from SM-tiered serving match DRAM-only serving")
 
-    # 5. Serve the stream and report steady-state behaviour.
-    result = ServingSimulator(engine, concurrency=2).run(queries, warmup_queries=40)
-    target = LatencyTarget(percentile=95, budget_seconds=25 * MILLISECOND)
-    rows = [
-        ["queries served", result.num_queries],
-        ["achieved QPS (simulated)", round(result.achieved_qps, 1)],
-        ["p95 latency (ms)", round(result.percentile_latency(95) * 1e3, 3)],
-        ["meets p95 SLO of 25 ms", result.meets(target)],
-        ["row cache hit rate", round(sdm.row_cache_hit_rate, 3)],
-        ["pooled cache hit rate", round(sdm.pooled_cache_hit_rate, 3)],
-        ["SM IOs per query", round(sdm.stats.ios_per_query, 1)],
-        ["device read amplification", round(sdm.device_stats().read_amplification, 2)],
-    ]
+    # Serve the stream and report steady-state behaviour (QPS, latency
+    # percentiles, SLO verdict, cache hit rates) in one structured result.
+    result = session.run()
     print()
-    print(format_table(["metric", "value"], rows, title="steady-state serving summary"))
+    print(result.summary_table())
 
 
 if __name__ == "__main__":

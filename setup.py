@@ -2,16 +2,10 @@
 
 Kept alongside ``pyproject.toml`` so editable installs work in offline
 environments without the ``wheel`` package (legacy ``setup.py develop`` path).
+All metadata — including the version, single-sourced from
+``repro.__version__`` — lives in ``pyproject.toml``.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description="Software Defined Memory for massive DLRM inference (ICDCS 2022 reproduction)",
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
-)
+setup()

@@ -3,6 +3,9 @@
 A faithful, laptop-scale reproduction of "Supporting Massive DLRM Inference
 through Software Defined Memory" (ICDCS 2022).  The package is organised as:
 
+* :mod:`repro.api` -- the public front door: declarative scenario specs, the
+  :class:`Session` facade, the pluggable backend registry and the
+  ``python -m repro`` command line.
 * :mod:`repro.sim` -- simulated clock, discrete events, units, RNG.
 * :mod:`repro.storage` -- slow-memory device models (Table 1), io_uring-like
   engine, sub-block (SGL) reads, block layout, endurance.
@@ -21,17 +24,87 @@ through Software Defined Memory" (ICDCS 2022).  The package is organised as:
 
 Quickstart::
 
-    from repro.core import SDMConfig, SoftwareDefinedMemory
-    from repro.dlrm import M1_SPEC, build_scaled_model, ComputeSpec, InferenceEngine
-    from repro.workload import QueryGenerator
+    from repro import ScenarioSpec, Session
 
-    model = build_scaled_model(M1_SPEC, item_batch=8)
-    sdm = SoftwareDefinedMemory(model, SDMConfig())
-    engine = InferenceEngine(model, ComputeSpec(), user_backend=sdm)
-    queries = QueryGenerator(model).generate(100)
-    results = engine.run_queries(queries)
+    result = Session(ScenarioSpec()).run()   # M1 on the SDM backend
+    print(result.summary_table())
+
+or from the command line::
+
+    python -m repro run --model M1 --backend sdm
+
+The hand-wired layers remain importable for fine-grained control; the most
+common entry points are re-exported here.
 """
+
+from repro.api import (
+    BackendChoice,
+    ModelChoice,
+    PowerSummary,
+    ScenarioResult,
+    ScenarioSpec,
+    ServingChoice,
+    Session,
+    SweepPoint,
+    UnknownBackendError,
+    WorkloadChoice,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.analysis import format_series, format_table
+from repro.core import SDMConfig, SoftwareDefinedMemory
+from repro.dlrm import (
+    M1_SPEC,
+    M2_SPEC,
+    M3_SPEC,
+    ComputeSpec,
+    EmbeddingBackend,
+    InferenceEngine,
+    InMemoryBackend,
+    Query,
+    QueryResult,
+    build_scaled_model,
+)
+from repro.serving import LatencyTarget, PowerModel, ServingSimulator
+from repro.workload import QueryGenerator, WorkloadConfig
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    # repro.api -- the public facade
+    "ScenarioSpec",
+    "ModelChoice",
+    "BackendChoice",
+    "WorkloadChoice",
+    "ServingChoice",
+    "Session",
+    "ScenarioResult",
+    "PowerSummary",
+    "SweepPoint",
+    "register_backend",
+    "create_backend",
+    "available_backends",
+    "UnknownBackendError",
+    # hand-wired layer highlights
+    "SDMConfig",
+    "SoftwareDefinedMemory",
+    "ComputeSpec",
+    "EmbeddingBackend",
+    "InMemoryBackend",
+    "InferenceEngine",
+    "Query",
+    "QueryResult",
+    "M1_SPEC",
+    "M2_SPEC",
+    "M3_SPEC",
+    "build_scaled_model",
+    "QueryGenerator",
+    "WorkloadConfig",
+    "ServingSimulator",
+    "LatencyTarget",
+    "PowerModel",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,218 @@
+"""``python -m repro`` — run scenarios from the command line.
+
+Subcommands::
+
+    python -m repro run                # serve an M1 SDM scenario end to end
+    python -m repro run --backend dram --queries 100 --json
+    python -m repro run --spec scenario.json --option num_devices=4
+    python -m repro sweep --param serving.concurrency --values 1,2,4
+    python -m repro list-backends
+
+Output is either the :mod:`repro.analysis.reporting` table format (default)
+or JSON (``--json``) for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.api.registry import available_backends
+from repro.api.results import ScenarioResult, sweep_table
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort typing of CLI values: int, float, bool, then string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_options(pairs: Sequence[str]) -> Dict[str, Any]:
+    options: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--option expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        options[key] = _parse_value(raw)
+    return options
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", metavar="FILE", help="JSON ScenarioSpec to start from")
+    parser.add_argument("--name", help="scenario name")
+    parser.add_argument("--model", help="paper model: M1, M2, M3 or fig1")
+    parser.add_argument("--tables", type=int, help="max tables per group in the scaled model")
+    parser.add_argument("--rows", type=int, help="max rows per table in the scaled model")
+    parser.add_argument("--backend", help="registered backend name (see list-backends)")
+    parser.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="backend option (repeatable), e.g. --option num_devices=4",
+    )
+    parser.add_argument("--queries", type=int, help="number of queries to serve")
+    parser.add_argument("--users", type=int, help="user population size")
+    parser.add_argument("--item-batch", type=int, help="candidate items ranked per query")
+    parser.add_argument("--seed", type=int, help="workload and model seed")
+    parser.add_argument("--concurrency", type=int, help="serving streams per host")
+    parser.add_argument("--warmup", type=int, help="warmup queries before measurement")
+    parser.add_argument("--platform", help="host platform for power accounting, e.g. HW-SS")
+    parser.add_argument("--baseline-platform", help="baseline platform to compare power against")
+    parser.add_argument("--qps-per-host", type=float, help="analytic per-host QPS for fleet sizing")
+    parser.add_argument(
+        "--baseline-qps-per-host", type=float, help="baseline platform's per-host QPS"
+    )
+    parser.add_argument("--fleet-qps", type=float, help="region-level QPS demand (Eq. 7)")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+
+_SCENARIO_PATHS = {
+    "name": "name",
+    "model": "model.spec",
+    "tables": "model.max_tables_per_group",
+    "rows": "model.max_rows_per_table",
+    "backend": "backend.name",
+    "queries": "workload.num_queries",
+    "users": "workload.num_users",
+    "seed": "workload.seed",
+    "concurrency": "serving.concurrency",
+    "warmup": "serving.warmup_queries",
+    "platform": "serving.platform",
+    "baseline_platform": "serving.baseline_platform",
+    "qps_per_host": "serving.qps_per_host",
+    "baseline_qps_per_host": "serving.baseline_qps_per_host",
+    "fleet_qps": "serving.fleet_qps",
+}
+
+
+def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_dict(json.load(handle))
+    else:
+        spec = ScenarioSpec()
+    for attr, path in _SCENARIO_PATHS.items():
+        value = getattr(args, attr)
+        if value is not None:
+            spec = spec.replace(path, value)
+    if args.item_batch is not None:
+        spec = spec.replace("model.item_batch", args.item_batch)
+        spec = spec.replace("workload.item_batch", args.item_batch)
+    if args.seed is not None:
+        spec = spec.replace("model.seed", args.seed)
+    for key, value in _parse_options(args.option).items():
+        spec = spec.replace(f"backend.options.{key}", value)
+    return spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = Session(_spec_from_args(args)).run()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary_table())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    values = [_parse_value(token) for token in args.values.split(",") if token]
+    if not values:
+        raise ValueError("--values must list at least one value")
+    if not args.json and args.metric not in {f.name for f in dataclasses.fields(ScenarioResult)}:
+        # Validate before the (expensive) sweep runs, not after.
+        raise ValueError(
+            f"unknown sweep metric {args.metric!r}; choices: "
+            f"{sorted(f.name for f in dataclasses.fields(ScenarioResult))}"
+        )
+    points = Session(_spec_from_args(args)).sweep(args.param, values)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {"param": p.param, "value": p.value, "result": p.result.to_dict()}
+                    for p in points
+                ],
+                indent=2,
+            )
+        )
+    else:
+        print(sweep_table(points, metric=args.metric))
+    return 0
+
+
+def _cmd_list_backends(args: argparse.Namespace) -> int:
+    backends = available_backends()
+    if args.json:
+        print(json.dumps(backends, indent=2))
+    else:
+        rows = [[name, backends[name]] for name in sorted(backends)]
+        print(format_table(["backend", "description"], rows, title="registered backends"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified experiment front end for the SDM reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="serve one scenario end to end")
+    _add_scenario_arguments(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser("sweep", help="run a one-dimensional parameter study")
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--param", required=True, help="dotted spec path, e.g. serving.concurrency"
+    )
+    sweep_parser.add_argument("--values", required=True, help="comma-separated values")
+    sweep_parser.add_argument(
+        "--metric", default="achieved_qps", help="ScenarioResult attribute to tabulate"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    list_parser = subparsers.add_parser("list-backends", help="show registered backends")
+    list_parser.add_argument("--json", action="store_true", help="emit JSON")
+    list_parser.set_defaults(handler=_cmd_list_backends)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Normal when piping into `head` etc.; exit quietly.  Detach stdout so
+        # the interpreter's shutdown flush doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ValueError, TypeError, KeyError, OSError, json.JSONDecodeError) as error:
+        # Spec/registry/config mistakes are user errors, not crashes: report
+        # the message (which lists the valid choices) without a traceback.
+        # KeyError wraps its message in quotes, so unwrap args[0] there;
+        # str() keeps OSError's "[Errno 2] ... : 'path'" form intact.
+        message = error.args[0] if isinstance(error, KeyError) and error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

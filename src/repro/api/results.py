@@ -1,0 +1,125 @@
+"""Structured results returned by :meth:`repro.api.session.Session.run`.
+
+A :class:`ScenarioResult` aggregates what the hand-wired examples used to
+assemble by hand: the host simulation outcome (latency percentiles, QPS, SLO
+verdict), the backend's serving statistics (cache hit rates, IOs per query,
+footprints) and — when the spec names a platform — the fleet power accounting
+of Equation 7 via :mod:`repro.serving.power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.serving.host_sim import HostSimulationResult
+
+
+@dataclass(frozen=True)
+class PowerSummary:
+    """Fleet sizing and normalised power for one scenario (Eq. 7 + power model)."""
+
+    platform: str
+    host_power: float
+    num_hosts: int
+    fleet_power: float
+    baseline_platform: Optional[str] = None
+    baseline_num_hosts: Optional[int] = None
+    baseline_fleet_power: Optional[float] = None
+    power_saving: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "platform": self.platform,
+            "host_power": self.host_power,
+            "num_hosts": self.num_hosts,
+            "fleet_power": self.fleet_power,
+            "baseline_platform": self.baseline_platform,
+            "baseline_num_hosts": self.baseline_num_hosts,
+            "baseline_fleet_power": self.baseline_fleet_power,
+            "power_saving": self.power_saving,
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one :meth:`Session.run` produced, ready to report."""
+
+    scenario: str
+    backend_name: str
+    num_queries: int
+    concurrency: int
+    makespan_seconds: float
+    achieved_qps: float
+    latency: Dict[str, float]  # mean/p50/p95/p99 in seconds
+    meets_slo: bool
+    slo_headroom: float
+    backend_stats: Dict[str, float] = field(default_factory=dict)
+    power: Optional[PowerSummary] = None
+    host_result: Optional[HostSimulationResult] = None  # raw, not serialised
+
+    def percentile_ms(self, key: str) -> float:
+        return self.latency[key] * 1e3
+
+    # ------------------------------------------------------------- reporting
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (drops the raw per-query results)."""
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend_name,
+            "num_queries": self.num_queries,
+            "concurrency": self.concurrency,
+            "makespan_seconds": self.makespan_seconds,
+            "achieved_qps": self.achieved_qps,
+            "latency_seconds": dict(self.latency),
+            "meets_slo": self.meets_slo,
+            "slo_headroom": self.slo_headroom,
+            "backend_stats": dict(self.backend_stats),
+            "power": self.power.to_dict() if self.power is not None else None,
+        }
+
+    def summary_rows(self) -> List[List[Any]]:
+        """Metric/value rows in :func:`repro.analysis.format_table` shape."""
+        rows: List[List[Any]] = [
+            ["backend", self.backend_name],
+            ["queries served", self.num_queries],
+            ["achieved QPS (simulated)", round(self.achieved_qps, 1)],
+            ["mean latency (ms)", round(self.percentile_ms("mean"), 3)],
+            ["p50 latency (ms)", round(self.percentile_ms("p50"), 3)],
+            ["p95 latency (ms)", round(self.percentile_ms("p95"), 3)],
+            ["p99 latency (ms)", round(self.percentile_ms("p99"), 3)],
+            ["meets SLO", self.meets_slo],
+        ]
+        for key, value in self.backend_stats.items():
+            rows.append([key, round(value, 3) if isinstance(value, float) else value])
+        if self.power is not None:
+            rows.append([f"hosts ({self.power.platform})", self.power.num_hosts])
+            rows.append(["fleet power", round(self.power.fleet_power, 1)])
+            if self.power.power_saving is not None:
+                rows.append(["fleet power saving", round(self.power.power_saving, 3)])
+        return rows
+
+    def summary_table(self) -> str:
+        return format_table(
+            ["metric", "value"], self.summary_rows(), title=f"scenario: {self.scenario}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a :meth:`Session.sweep`: the swept value and its result."""
+
+    param: str
+    value: Any
+    result: ScenarioResult
+
+
+def sweep_table(points: List[SweepPoint], metric: str = "achieved_qps") -> str:
+    """Format a one-dimensional sweep as a two-column series table."""
+    if not points:
+        raise ValueError("sweep_table needs at least one point")
+    rows: List[Tuple[Any, Any]] = [
+        (point.value, getattr(point.result, metric)) for point in points
+    ]
+    return format_table([points[0].param, metric], rows, title="sweep")

@@ -1,0 +1,284 @@
+"""The :class:`Session` facade: one front door to the whole stack.
+
+A Session lazily materialises the pipeline a :class:`~repro.api.spec.ScenarioSpec`
+describes — model → backend (via the registry) → inference engine → query
+generator → host simulation — and returns a structured
+:class:`~repro.api.results.ScenarioResult`.  The wiring is exactly what the
+hand-written examples used to do::
+
+    from repro.api import ScenarioSpec, Session
+
+    result = Session(ScenarioSpec()).run()
+    print(result.summary_table())
+
+``sweep`` reruns the scenario across values of one spec parameter (addressed
+with the dotted paths of :meth:`ScenarioSpec.replace`), each in a fresh
+session so runs are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.api.registry import create_backend
+from repro.api.results import PowerSummary, ScenarioResult, SweepPoint
+from repro.api.spec import ScenarioSpec, model_spec_by_name
+from repro.core.sdm import SoftwareDefinedMemory
+from repro.dlrm.inference import ComputeSpec, EmbeddingBackend, InferenceEngine, Query
+from repro.dlrm.model import DLRMModel
+from repro.dlrm.model_config import build_scaled_model
+from repro.serving.capacity_planner import DeploymentScenario, plan_deployment
+from repro.serving.host_sim import HostSimulationResult, ServingSimulator
+from repro.serving.platform import ALL_PLATFORMS
+from repro.serving.power import PowerModel, power_saving
+from repro.workload.generator import QueryGenerator
+
+# Imported for its side effect: registering the built-in backends.
+import repro.api.backends  # noqa: F401
+
+
+class Session:
+    """Builds and runs the scenario a :class:`ScenarioSpec` describes.
+
+    Construction is lazy: the model, backend, engine and queries are built on
+    first use, so cheap operations (inspecting the workload, listing traces)
+    never pay for device setup.  Serving state (caches, statistics)
+    accumulates across repeated :meth:`run` calls on the same session; use a
+    fresh session — as :meth:`sweep` does — for independent runs.
+    """
+
+    def __init__(self, spec: ScenarioSpec, compute: Optional[ComputeSpec] = None) -> None:
+        self.spec = spec
+        self.compute = compute if compute is not None else ComputeSpec()
+        self._model: Optional[DLRMModel] = None
+        self._backend: Optional[EmbeddingBackend] = None
+        self._engine: Optional[InferenceEngine] = None
+        self._generator: Optional[QueryGenerator] = None
+        self._queries: Optional[List[Query]] = None
+
+    @classmethod
+    def from_dict(cls, data, compute: Optional[ComputeSpec] = None) -> "Session":
+        return cls(ScenarioSpec.from_dict(data), compute=compute)
+
+    # ------------------------------------------------------------ lazy parts
+    @property
+    def model(self) -> DLRMModel:
+        if self._model is None:
+            choice = self.spec.model
+            self._model = build_scaled_model(
+                model_spec_by_name(choice.spec),
+                max_tables_per_group=choice.max_tables_per_group,
+                max_rows_per_table=choice.max_rows_per_table,
+                item_batch=choice.item_batch,
+                seed=choice.seed,
+            )
+        return self._model
+
+    @property
+    def backend(self) -> EmbeddingBackend:
+        if self._backend is None:
+            self._backend = create_backend(
+                self.spec.backend.name,
+                self.model,
+                compute=self.compute,
+                **self.spec.backend.options,
+            )
+        return self._backend
+
+    @property
+    def engine(self) -> InferenceEngine:
+        if self._engine is None:
+            self._engine = InferenceEngine(self.model, self.compute, user_backend=self.backend)
+        return self._engine
+
+    @property
+    def generator(self) -> QueryGenerator:
+        if self._generator is None:
+            workload = self.spec.workload
+            self._generator = QueryGenerator(
+                self.model,
+                workload.to_workload_config(self.model.item_batch),
+                seed=workload.seed,
+            )
+        return self._generator
+
+    def queries(self) -> List[Query]:
+        """The scenario's query stream (generated once, then cached)."""
+        if self._queries is None:
+            self._queries = self.generator.generate(self.spec.workload.num_queries)
+        return self._queries
+
+    def access_trace(self, table_name: str, queries: Optional[Sequence[Query]] = None) -> List[int]:
+        """Row accesses the query stream makes to one table (locality studies)."""
+        stream = list(queries) if queries is not None else self.queries()
+        return self.generator.access_trace(stream, table_name)
+
+    # ---------------------------------------------------------------- running
+    def run(self) -> ScenarioResult:
+        """Serve the query stream and return the structured result."""
+        serving = self.spec.serving
+        queries = self.queries()
+        warmup = serving.warmup_queries
+        if serving.reset_stats_after_warmup and warmup > 0:
+            # Warm the caches outside the measured window, then measure
+            # steady-state statistics only.
+            for query in queries[:warmup]:
+                self.engine.run_query(query, start_time=0.0)
+            self._reset_backend_stats()
+            host_result = ServingSimulator(self.engine, serving.concurrency).run(
+                queries[warmup:], warmup_queries=0
+            )
+        else:
+            host_result = ServingSimulator(self.engine, serving.concurrency).run(
+                queries, warmup_queries=warmup
+            )
+        return self._build_result(host_result)
+
+    def sweep(self, param: str, values: Sequence[Any]) -> List[SweepPoint]:
+        """Run the scenario once per value of ``param`` (dotted spec path).
+
+        Each point runs in a fresh :class:`Session`, so cache state does not
+        leak between points.
+        """
+        if not values:
+            raise ValueError("sweep needs at least one value")
+        points: List[SweepPoint] = []
+        for value in values:
+            session = Session(self.spec.replace(param, value), compute=self.compute)
+            points.append(SweepPoint(param=param, value=value, result=session.run()))
+        return points
+
+    # -------------------------------------------------------------- internals
+    def _reset_backend_stats(self) -> None:
+        reset = getattr(self.backend, "reset_stats", None)
+        if callable(reset):
+            reset()
+
+    def _backend_stats(self) -> dict:
+        backend = self.backend
+        if not isinstance(backend, SoftwareDefinedMemory):
+            return {}
+        return {
+            "row cache hit rate": backend.row_cache_hit_rate,
+            "pooled cache hit rate": backend.pooled_cache_hit_rate,
+            "SM IOs per query": backend.stats.ios_per_query,
+            "device read amplification": backend.device_stats().read_amplification,
+            "FM footprint bytes": float(backend.fm_footprint_bytes()),
+            "SM footprint bytes": float(backend.sm_footprint_bytes()),
+        }
+
+    @staticmethod
+    def _platform(name: str):
+        if name not in ALL_PLATFORMS:
+            raise ValueError(f"unknown platform {name!r}; known: {sorted(ALL_PLATFORMS)}")
+        return ALL_PLATFORMS[name]
+
+    def _fleet(
+        self,
+        scenario_name: str,
+        platform_name: str,
+        qps_per_host: float,
+        helper_platform: Optional[str],
+        helper_hosts_per_host: float,
+        fleet_qps: Optional[float],
+        power_model: PowerModel,
+    ):
+        """(num_hosts, fleet_power) for one platform, Eq. 7 when fleet_qps is set."""
+        platform = self._platform(platform_name)
+        if fleet_qps is None:
+            return 1, power_model.host_power(platform)
+        plan = plan_deployment(
+            DeploymentScenario(
+                scenario_name,
+                platform,
+                qps_per_host,
+                fleet_qps,
+                helper_platform=(
+                    self._platform(helper_platform) if helper_platform is not None else None
+                ),
+                helper_hosts_per_host=helper_hosts_per_host,
+            ),
+            power_model,
+        )
+        return plan.total_hosts, plan.total_power
+
+    def power_summary(
+        self, host_result: Optional[HostSimulationResult] = None
+    ) -> Optional[PowerSummary]:
+        """Fleet sizing and power for the spec's platform fields.
+
+        Purely analytic when ``serving.qps_per_host`` is set (no simulation
+        needed); otherwise the per-host QPS comes from ``host_result`` —
+        :meth:`run` passes its own.  Returns ``None`` when the spec names no
+        platform.
+        """
+        serving = self.spec.serving
+        if serving.platform is None:
+            return None
+        power_model = PowerModel()
+        platform = self._platform(serving.platform)
+        if serving.qps_per_host is not None:
+            qps_per_host = serving.qps_per_host
+        elif host_result is not None:
+            qps_per_host = host_result.achieved_qps
+        else:
+            raise ValueError(
+                "power_summary needs serving.qps_per_host or a host simulation result"
+            )
+        num_hosts, fleet_power = self._fleet(
+            self.spec.name,
+            serving.platform,
+            qps_per_host,
+            serving.helper_platform,
+            serving.helper_hosts_per_host,
+            serving.fleet_qps,
+            power_model,
+        )
+
+        baseline_num_hosts = None
+        baseline_fleet_power = None
+        saving = None
+        if serving.baseline_platform is not None:
+            baseline_qps = (
+                serving.baseline_qps_per_host
+                if serving.baseline_qps_per_host is not None
+                else qps_per_host
+            )
+            baseline_num_hosts, baseline_fleet_power = self._fleet(
+                "baseline",
+                serving.baseline_platform,
+                baseline_qps,
+                serving.baseline_helper_platform,
+                serving.baseline_helper_hosts_per_host,
+                serving.fleet_qps,
+                power_model,
+            )
+            saving = power_saving(baseline_fleet_power, fleet_power)
+
+        return PowerSummary(
+            platform=platform.name,
+            host_power=power_model.host_power(platform),
+            num_hosts=num_hosts,
+            fleet_power=fleet_power,
+            baseline_platform=serving.baseline_platform,
+            baseline_num_hosts=baseline_num_hosts,
+            baseline_fleet_power=baseline_fleet_power,
+            power_saving=saving,
+        )
+
+    def _build_result(self, host_result: HostSimulationResult) -> ScenarioResult:
+        target = self.spec.serving.latency_target()
+        return ScenarioResult(
+            scenario=self.spec.name,
+            backend_name=self.spec.backend.name,
+            num_queries=host_result.num_queries,
+            concurrency=host_result.concurrency,
+            makespan_seconds=host_result.makespan_seconds,
+            achieved_qps=host_result.achieved_qps,
+            latency=host_result.percentiles(),
+            meets_slo=host_result.meets(target),
+            slo_headroom=target.headroom(host_result.latencies),
+            backend_stats=self._backend_stats(),
+            power=self.power_summary(host_result),
+            host_result=host_result,
+        )

@@ -1,0 +1,215 @@
+"""Declarative scenario descriptions for the unified experiment API.
+
+A :class:`ScenarioSpec` is a frozen, serialisable description of one
+end-to-end experiment: which paper model to materialise (and at what scale),
+which embedding backend serves the user tables, what the synthetic query
+stream looks like, and how the host serves it (concurrency, warmup, SLO,
+optional fleet/power accounting).  Everything a :class:`~repro.api.session.Session`
+builds is derived from the spec, so specs round-trip through ``to_dict`` /
+``from_dict`` and can live in JSON config files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.dlrm.model_config import ALL_MODEL_SPECS, ModelSpec, figure1_model_spec
+from repro.serving.latency import LatencyTarget
+from repro.sim.units import MILLISECOND
+from repro.workload.generator import WorkloadConfig
+
+
+def model_spec_by_name(name: str) -> ModelSpec:
+    """Resolve a paper model name (``M1``/``M2``/``M3``/``fig1``) to its spec."""
+    if name in ALL_MODEL_SPECS:
+        return ALL_MODEL_SPECS[name]
+    if name.lower() in ("fig1", "figure1"):
+        return figure1_model_spec()
+    known = sorted(ALL_MODEL_SPECS) + ["fig1"]
+    raise ValueError(f"unknown model spec {name!r}; known models: {known}")
+
+
+@dataclass(frozen=True)
+class ModelChoice:
+    """Which paper model to materialise, and at what laptop scale."""
+
+    spec: str = "M1"
+    max_tables_per_group: int = 4
+    max_rows_per_table: int = 2048
+    item_batch: Optional[int] = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        model_spec_by_name(self.spec)  # fail fast on unknown names
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """Which registered embedding backend serves the user tables.
+
+    ``options`` are passed verbatim to the backend factory registered under
+    ``name`` (see :mod:`repro.api.registry`); for the built-in ``sdm`` and
+    ``pooled`` backends they are :class:`~repro.core.config.SDMConfig` fields.
+    """
+
+    name: str = "sdm"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", dict(self.options))
+
+
+@dataclass(frozen=True)
+class WorkloadChoice:
+    """The synthetic query stream served by the scenario."""
+
+    num_queries: int = 200
+    item_batch: Optional[int] = None  # None: inherit the model's item batch
+    num_users: int = 200
+    user_zipf_alpha: float = 1.1
+    sequence_repeat_probability: float = 0.05
+    sequence_pool_size: int = 256
+    user_reuse_probability: float = 0.8
+    pooling_factor_jitter: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0:
+            raise ValueError(f"num_queries must be positive: {self.num_queries}")
+
+    def to_workload_config(self, model_item_batch: int) -> WorkloadConfig:
+        return WorkloadConfig(
+            item_batch=self.item_batch if self.item_batch is not None else model_item_batch,
+            num_users=self.num_users,
+            user_zipf_alpha=self.user_zipf_alpha,
+            sequence_repeat_probability=self.sequence_repeat_probability,
+            sequence_pool_size=self.sequence_pool_size,
+            user_reuse_probability=self.user_reuse_probability,
+            pooling_factor_jitter=self.pooling_factor_jitter,
+        )
+
+
+@dataclass(frozen=True)
+class ServingChoice:
+    """Host-level serving parameters, the SLO, and optional fleet accounting.
+
+    The fleet fields are optional: when ``platform`` and ``fleet_qps`` are
+    set, :meth:`Session.run` attaches a power summary (Equation 7 plus the
+    :class:`~repro.serving.power.PowerModel`) to the result, comparing against
+    ``baseline_platform`` when given.
+    """
+
+    concurrency: int = 2
+    warmup_queries: int = 40
+    reset_stats_after_warmup: bool = False
+    slo_percentile: float = 95.0
+    slo_budget_ms: float = 25.0
+
+    platform: Optional[str] = None
+    qps_per_host: Optional[float] = None
+    helper_platform: Optional[str] = None
+    helper_hosts_per_host: float = 0.0
+    baseline_platform: Optional[str] = None
+    baseline_qps_per_host: Optional[float] = None
+    baseline_helper_platform: Optional[str] = None
+    baseline_helper_hosts_per_host: float = 0.0
+    fleet_qps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.concurrency <= 0:
+            raise ValueError(f"concurrency must be positive: {self.concurrency}")
+        if self.warmup_queries < 0:
+            raise ValueError(f"warmup_queries must be non-negative: {self.warmup_queries}")
+        if self.slo_budget_ms <= 0:
+            raise ValueError(f"slo_budget_ms must be positive: {self.slo_budget_ms}")
+
+    def latency_target(self) -> LatencyTarget:
+        return LatencyTarget(
+            percentile=self.slo_percentile,
+            budget_seconds=self.slo_budget_ms * MILLISECOND,
+        )
+
+
+_SECTION_TYPES = {
+    "model": ModelChoice,
+    "backend": BackendChoice,
+    "workload": WorkloadChoice,
+    "serving": ServingChoice,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described experiment: model + backend + workload + serving."""
+
+    name: str = "scenario"
+    model: ModelChoice = field(default_factory=ModelChoice)
+    backend: BackendChoice = field(default_factory=BackendChoice)
+    workload: WorkloadChoice = field(default_factory=WorkloadChoice)
+    serving: ServingChoice = field(default_factory=ServingChoice)
+
+    # ------------------------------------------------------------- serialise
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, JSON-serialisable dict that round-trips via ``from_dict``."""
+        return {
+            "name": self.name,
+            "model": dataclasses.asdict(self.model),
+            "backend": {"name": self.backend.name, "options": dict(self.backend.options)},
+            "workload": dataclasses.asdict(self.workload),
+            "serving": dataclasses.asdict(self.serving),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output, rejecting unknown keys."""
+        unknown = set(data) - ({"name"} | set(_SECTION_TYPES))
+        if unknown:
+            raise ValueError(f"unknown ScenarioSpec keys: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {"name": data.get("name", "scenario")}
+        for section, section_type in _SECTION_TYPES.items():
+            raw = data.get(section, {})
+            if not isinstance(raw, Mapping):
+                raise ValueError(
+                    f"{section!r} must be a mapping of {section_type.__name__} "
+                    f"fields, got {type(raw).__name__}"
+                )
+            field_names = {f.name for f in dataclasses.fields(section_type)}
+            bad = set(raw) - field_names
+            if bad:
+                raise ValueError(
+                    f"unknown {section_type.__name__} keys in {section!r}: {sorted(bad)}"
+                )
+            kwargs[section] = section_type(**raw)
+        return cls(**kwargs)
+
+    # -------------------------------------------------------------- override
+    def replace(self, path: str, value: Any) -> "ScenarioSpec":
+        """Return a copy with the dotted ``path`` replaced by ``value``.
+
+        ``path`` addresses a spec field (``"name"``), a section field
+        (``"serving.concurrency"``) or a backend option
+        (``"backend.options.num_devices"``) — the addressing scheme
+        :meth:`Session.sweep` uses.
+        """
+        parts = path.split(".")
+        if parts[0] == "name" and len(parts) == 1:
+            return dataclasses.replace(self, name=value)
+        if parts[0] not in _SECTION_TYPES:
+            raise ValueError(
+                f"unknown spec path {path!r}; top-level keys: "
+                f"{['name'] + sorted(_SECTION_TYPES)}"
+            )
+        section = getattr(self, parts[0])
+        if parts[0] == "backend" and len(parts) == 3 and parts[1] == "options":
+            options = dict(section.options)
+            options[parts[2]] = value
+            return dataclasses.replace(self, backend=dataclasses.replace(section, options=options))
+        if len(parts) != 2:
+            raise ValueError(f"spec path must be 'section.field': {path!r}")
+        if parts[1] not in {f.name for f in dataclasses.fields(section)}:
+            raise ValueError(f"{type(section).__name__} has no field {parts[1]!r}")
+        return dataclasses.replace(
+            self, **{parts[0]: dataclasses.replace(section, **{parts[1]: value})}
+        )

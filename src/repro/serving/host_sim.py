@@ -36,6 +36,8 @@ class HostSimulationResult:
 
     @property
     def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
         return sum(self.latencies) / len(self.latencies)
 
     def percentile_latency(self, pct: float) -> float:

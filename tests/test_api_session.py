@@ -1,0 +1,310 @@
+"""Tests for ScenarioSpec round-tripping, the Session facade and the CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    ComputeSpec,
+    InferenceEngine,
+    M1_SPEC,
+    QueryGenerator,
+    ScenarioSpec,
+    SDMConfig,
+    ServingSimulator,
+    Session,
+    SoftwareDefinedMemory,
+    WorkloadConfig,
+    build_scaled_model,
+)
+from repro.api import BackendChoice, ModelChoice, ServingChoice, WorkloadChoice
+from repro.api.cli import main as cli_main
+from repro.sim.units import MIB
+from repro.storage import Technology
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+QUICKSTART_SPEC = ScenarioSpec(
+    name="quickstart-parity",
+    model=ModelChoice(spec="M1", max_tables_per_group=4, max_rows_per_table=2048, item_batch=4),
+    backend=BackendChoice(
+        name="sdm",
+        options=dict(
+            device_technology=Technology.NAND_FLASH,
+            num_devices=2,
+            row_cache_capacity_bytes=4 * MIB,
+            pooled_cache_capacity_bytes=1 * MIB,
+        ),
+    ),
+    workload=WorkloadChoice(num_queries=100, item_batch=4, num_users=200, seed=0),
+    serving=ServingChoice(concurrency=2, warmup_queries=20),
+)
+
+
+class TestScenarioSpec:
+    def test_to_dict_from_dict_round_trip(self):
+        spec = QUICKSTART_SPEC
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = QUICKSTART_SPEC
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        # Technology is a str enum, so the JSON string compares equal.
+        assert rebuilt == spec
+
+    def test_defaults_round_trip(self):
+        assert ScenarioSpec.from_dict(ScenarioSpec().to_dict()) == ScenarioSpec()
+
+    def test_from_dict_rejects_unknown_top_level_keys(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec keys"):
+            ScenarioSpec.from_dict({"modle": {}})
+
+    def test_from_dict_rejects_unknown_section_keys(self):
+        with pytest.raises(ValueError, match="unknown WorkloadChoice keys"):
+            ScenarioSpec.from_dict({"workload": {"num_queries": 10, "qps": 1}})
+
+    def test_from_dict_rejects_non_mapping_sections(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            ScenarioSpec.from_dict({"model": None})
+
+    def test_unknown_model_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown model spec"):
+            ModelChoice(spec="M9")
+
+    def test_replace_section_field(self):
+        spec = ScenarioSpec().replace("serving.concurrency", 8)
+        assert spec.serving.concurrency == 8
+        assert ScenarioSpec().serving.concurrency == 2  # original untouched
+
+    def test_replace_backend_option(self):
+        spec = ScenarioSpec().replace("backend.options.num_devices", 4)
+        assert spec.backend.options["num_devices"] == 4
+
+    def test_replace_unknown_path_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec path"):
+            ScenarioSpec().replace("engine.concurrency", 1)
+        with pytest.raises(ValueError, match="has no field"):
+            ScenarioSpec().replace("serving.qps", 1)
+
+
+class TestSessionParity:
+    def test_run_matches_hand_wired_quickstart(self):
+        """Session.run() reproduces the hand-wired five-step incantation."""
+        # The hand-wired path, exactly as examples/quickstart.py used to do it.
+        model = build_scaled_model(
+            M1_SPEC, max_tables_per_group=4, max_rows_per_table=2048, item_batch=4
+        )
+        sdm = SoftwareDefinedMemory(
+            model,
+            SDMConfig(
+                device_technology=Technology.NAND_FLASH,
+                num_devices=2,
+                row_cache_capacity_bytes=4 * MIB,
+                pooled_cache_capacity_bytes=1 * MIB,
+            ),
+        )
+        engine = InferenceEngine(model, ComputeSpec(), user_backend=sdm)
+        queries = QueryGenerator(
+            model, WorkloadConfig(item_batch=4, num_users=200), seed=0
+        ).generate(100)
+        hand_wired = ServingSimulator(engine, concurrency=2).run(queries, warmup_queries=20)
+
+        session_result = Session(QUICKSTART_SPEC).run()
+        via_session = session_result.host_result
+
+        assert via_session.num_queries == hand_wired.num_queries
+        assert via_session.latencies == hand_wired.latencies
+        assert via_session.makespan_seconds == hand_wired.makespan_seconds
+        for mine, theirs in zip(via_session.results, hand_wired.results):
+            np.testing.assert_array_equal(mine.scores, theirs.scores)
+            assert mine.latency == theirs.latency
+            assert mine.bottom_mlp_time == theirs.bottom_mlp_time
+            assert mine.user_embedding_time == theirs.user_embedding_time
+            assert mine.item_embedding_time == theirs.item_embedding_time
+            assert mine.top_mlp_time == theirs.top_mlp_time
+
+        assert session_result.achieved_qps == hand_wired.achieved_qps
+        assert session_result.latency == hand_wired.percentiles()
+
+    def test_sdm_and_dram_backends_agree_on_scores(self):
+        sdm_session = Session(QUICKSTART_SPEC)
+        dram_session = Session(
+            ScenarioSpec.from_dict({**QUICKSTART_SPEC.to_dict(), "backend": {"name": "dram"}})
+        )
+        for query, reference in zip(sdm_session.queries()[:3], dram_session.queries()[:3]):
+            np.testing.assert_allclose(
+                sdm_session.engine.run_query(query).scores,
+                dram_session.engine.run_query(reference).scores,
+                rtol=1e-4,
+                atol=1e-5,
+            )
+
+
+@pytest.fixture
+def small_spec():
+    return ScenarioSpec(
+        name="small",
+        model=ModelChoice(max_tables_per_group=2, max_rows_per_table=512),
+        backend=BackendChoice(
+            name="sdm",
+            options=dict(
+                row_cache_capacity_bytes=256 * 1024,
+                pooled_cache_capacity_bytes=128 * 1024,
+            ),
+        ),
+        workload=WorkloadChoice(num_queries=40, num_users=100),
+        serving=ServingChoice(concurrency=2, warmup_queries=10),
+    )
+
+
+class TestSession:
+    def test_lazy_construction(self, small_spec):
+        session = Session(small_spec)
+        assert session._model is None and session._backend is None
+        session.queries()  # workload needs the model but not the backend
+        assert session._model is not None
+        assert session._backend is None
+
+    def test_run_reports_backend_stats_for_sdm(self, small_spec):
+        result = Session(small_spec).run()
+        assert result.backend_name == "sdm"
+        assert result.num_queries == 30  # 40 queries minus 10 warmup
+        assert 0.0 <= result.backend_stats["row cache hit rate"] <= 1.0
+        assert set(result.latency) == {"mean", "p50", "p95", "p99"}
+        assert result.to_dict()["backend_stats"]["SM IOs per query"] >= 0
+
+    def test_dram_backend_has_no_backend_stats(self, small_spec):
+        result = Session(
+            ScenarioSpec.from_dict({**small_spec.to_dict(), "backend": {"name": "dram"}})
+        ).run()
+        assert result.backend_stats == {}
+
+    def test_reset_stats_after_warmup_measures_steady_state(self, small_spec):
+        spec = small_spec.replace("serving.reset_stats_after_warmup", True)
+        result = Session(spec).run()
+        assert result.num_queries == 30
+        # The warmed cache keeps serving, only the counters were reset.
+        assert result.backend_stats["row cache hit rate"] > 0.0
+
+    def test_sweep_runs_each_value_in_a_fresh_session(self, small_spec):
+        points = Session(small_spec).sweep("serving.concurrency", [1, 2])
+        assert [point.value for point in points] == [1, 2]
+        assert all(point.result.num_queries == 30 for point in points)
+        # More streams never reduce simulated closed-loop throughput.
+        assert points[1].result.achieved_qps >= points[0].result.achieved_qps
+
+    def test_sweep_over_backend_options(self, small_spec):
+        points = Session(small_spec).sweep(
+            "backend.options.num_devices", [1, 2]
+        )
+        assert [len(point.result.host_result.latencies) for point in points] == [30, 30]
+
+    def test_result_table_renders(self, small_spec):
+        table = Session(small_spec).run().summary_table()
+        assert "achieved QPS" in table and "small" in table
+
+    def test_power_summary_analytic(self):
+        spec = ScenarioSpec(
+            name="table8",
+            serving=ServingChoice(
+                platform="HW-SS",
+                qps_per_host=120,
+                baseline_platform="HW-L",
+                baseline_qps_per_host=240,
+                fleet_qps=120 * 240,
+            ),
+        )
+        power = Session(spec).power_summary()
+        assert power.num_hosts == 240
+        assert power.power_saving == pytest.approx(0.2)
+
+    def test_power_summary_requires_qps_source(self):
+        spec = ScenarioSpec(serving=ServingChoice(platform="HW-SS"))
+        with pytest.raises(ValueError, match="qps_per_host"):
+            Session(spec).power_summary()
+
+    def test_unknown_platform_rejected(self):
+        spec = ScenarioSpec(serving=ServingChoice(platform="HW-XX", qps_per_host=1.0))
+        with pytest.raises(ValueError, match="unknown platform"):
+            Session(spec).power_summary()
+
+
+class TestCLI:
+    def _run_json(self, capsys, argv):
+        assert cli_main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_list_backends(self, capsys):
+        payload = self._run_json(capsys, ["list-backends", "--json"])
+        assert {"dram", "sdm", "pooled"} <= set(payload)
+
+    def test_run_scenario(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["run", "--rows", "256", "--queries", "30", "--warmup", "5",
+             "--users", "50", "--json"],
+        )
+        assert payload["backend"] == "sdm"
+        assert payload["num_queries"] == 25
+        assert payload["achieved_qps"] > 0
+
+    def test_run_with_backend_options(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["run", "--rows", "256", "--queries", "20", "--warmup", "0",
+             "--backend", "sdm", "--option", "num_devices=1",
+             "--option", "pooled_cache_enabled=false", "--json"],
+        )
+        assert payload["backend_stats"]["pooled cache hit rate"] == 0.0
+
+    def test_sweep(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["sweep", "--param", "serving.concurrency", "--values", "1,2",
+             "--rows", "256", "--queries", "20", "--warmup", "0", "--json"],
+        )
+        assert [point["value"] for point in payload] == [1, 2]
+
+    def test_spec_file_round_trip(self, capsys, tmp_path):
+        spec_file = tmp_path / "scenario.json"
+        spec = ScenarioSpec(
+            name="from-file",
+            model=ModelChoice(max_tables_per_group=2, max_rows_per_table=256),
+            workload=WorkloadChoice(num_queries=20, num_users=50),
+            serving=ServingChoice(concurrency=1, warmup_queries=0),
+        )
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        payload = self._run_json(capsys, ["run", "--spec", str(spec_file), "--json"])
+        assert payload["scenario"] == "from-file"
+        assert payload["num_queries"] == 20
+
+    def test_python_dash_m_repro_entry_point(self):
+        """Acceptance: `python -m repro run` executes an M1 SDM scenario."""
+        env_src = str(REPO_ROOT / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--model", "M1", "--backend", "sdm",
+             "--rows", "256", "--queries", "20", "--warmup", "0", "--json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["backend"] == "sdm"
+        assert payload["num_queries"] == 20
+
+    def test_python_dash_m_repro_list_backends(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list-backends"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "sdm" in completed.stdout

@@ -73,3 +73,23 @@ class TestServingSimulator:
             simulator.run(queries, warmup_queries=-1)
         with pytest.raises(ValueError):
             simulator.run(queries, warmup_queries=5)
+
+
+class TestHostSimulationResult:
+    def test_mean_latency_empty_latencies_is_zero(self):
+        """Regression: an empty latency list used to raise ZeroDivisionError."""
+        from repro.serving import HostSimulationResult
+
+        result = HostSimulationResult(
+            num_queries=0, concurrency=1, makespan_seconds=0.0, latencies=[]
+        )
+        assert result.mean_latency == 0.0
+        assert result.achieved_qps == 0.0
+
+    def test_mean_latency_matches_sample_mean(self):
+        from repro.serving import HostSimulationResult
+
+        result = HostSimulationResult(
+            num_queries=3, concurrency=1, makespan_seconds=6.0, latencies=[1.0, 2.0, 3.0]
+        )
+        assert result.mean_latency == pytest.approx(2.0)
