@@ -8,8 +8,7 @@ deploys.
 
 from repro.analysis import format_table
 from repro.core import profile_subsequence_schemes
-from repro.dlrm import M1_SPEC, build_scaled_model
-from repro.workload import QueryGenerator, WorkloadConfig
+from repro.dlrm import M1_SPEC
 
 from _util import emit, run_once
 

@@ -1,0 +1,94 @@
+"""Load sweep: find the p99-latency saturation knee of a host, per backend.
+
+The paper's per-host QPS claims (Tables 8/9) are statements about latency
+under load, and the place they live is the latency-vs-offered-load curve:
+flat while the host keeps up, then a knee where queueing delay takes over.
+This example drives the event-driven open-loop engine (Poisson arrivals,
+bounded admission queue) across a range of offered QPS for both the ``dram``
+reference backend and the ``sdm`` tiered backend, via one
+:meth:`repro.Session.sweep` per backend, and prints where each backend's knee
+sits.
+
+Run with:  python examples/load_sweep.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    BackendChoice,
+    ModelChoice,
+    ScenarioSpec,
+    ServingChoice,
+    Session,
+    TrafficSpec,
+    WorkloadChoice,
+    format_table,
+)
+from repro.sim.units import MIB
+
+OFFERED_QPS = [1000.0, 4000.0, 16000.0, 32000.0, 64000.0, 128000.0]
+
+# p99 more than 2x the zero-queueing baseline marks the saturation knee.
+KNEE_FACTOR = 2.0
+
+
+def sweep_spec(backend: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"load-sweep-{backend}",
+        model=ModelChoice(spec="M1", max_tables_per_group=2, max_rows_per_table=1024),
+        backend=BackendChoice(
+            name=backend,
+            options=(
+                dict(row_cache_capacity_bytes=1 * MIB, pooled_cache_enabled=False)
+                if backend == "sdm"
+                else {}
+            ),
+        ),
+        workload=WorkloadChoice(num_queries=300, num_users=200),
+        traffic=TrafficSpec(mode="open", arrival="poisson", offered_qps=OFFERED_QPS[0]),
+        serving=ServingChoice(concurrency=2, warmup_queries=50, store_results=False),
+    )
+
+
+def find_knee(points) -> float:
+    """First offered QPS whose p99 exceeds KNEE_FACTOR x the lightest load's."""
+    baseline = points[0].result.latency["p99"]
+    for point in points:
+        if point.result.latency["p99"] > KNEE_FACTOR * baseline:
+            return point.value
+    return float("nan")
+
+
+def main() -> None:
+    for backend in ("dram", "sdm"):
+        points = Session(sweep_spec(backend)).sweep("traffic.offered_qps", OFFERED_QPS)
+        rows = [
+            [
+                point.value,
+                round(point.result.achieved_qps, 1),
+                round(point.result.latency["p99"] * 1e3, 3),
+                round(point.result.queueing["p99"] * 1e3, 3),
+                point.result.dropped_queries,
+            ]
+            for point in points
+        ]
+        print(
+            format_table(
+                ["offered QPS", "achieved QPS", "p99 latency (ms)",
+                 "p99 queue delay (ms)", "dropped"],
+                rows,
+                title=f"open-loop load sweep: {backend} backend",
+            )
+        )
+        knee = find_knee(points)
+        if knee == knee:  # not NaN
+            print(f"{backend}: p99 saturation knee near {knee:.0f} offered QPS\n")
+        else:
+            print(f"{backend}: no saturation knee up to {OFFERED_QPS[-1]:.0f} QPS\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,7 @@ from repro.api import (
     ServingChoice,
     Session,
     SweepPoint,
+    TrafficSpec,
     UnknownBackendError,
     WorkloadChoice,
     available_backends,
@@ -66,7 +67,7 @@ from repro.dlrm import (
     QueryResult,
     build_scaled_model,
 )
-from repro.serving import LatencyTarget, PowerModel, ServingSimulator
+from repro.serving import LatencyTarget, PowerModel, ServingEngine, ServingSimulator
 from repro.workload import QueryGenerator, WorkloadConfig
 
 __version__ = "1.0.0"
@@ -78,6 +79,7 @@ __all__ = [
     "ModelChoice",
     "BackendChoice",
     "WorkloadChoice",
+    "TrafficSpec",
     "ServingChoice",
     "Session",
     "ScenarioResult",
@@ -102,6 +104,7 @@ __all__ = [
     "build_scaled_model",
     "QueryGenerator",
     "WorkloadConfig",
+    "ServingEngine",
     "ServingSimulator",
     "LatencyTarget",
     "PowerModel",

@@ -13,6 +13,7 @@ from repro.api.spec import (
     ModelChoice,
     ScenarioSpec,
     ServingChoice,
+    TrafficSpec,
     WorkloadChoice,
     model_spec_by_name,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "ModelChoice",
     "BackendChoice",
     "WorkloadChoice",
+    "TrafficSpec",
     "ServingChoice",
     "model_spec_by_name",
     "Session",

@@ -5,7 +5,9 @@ Subcommands::
     python -m repro run                # serve an M1 SDM scenario end to end
     python -m repro run --backend dram --queries 100 --json
     python -m repro run --spec scenario.json --option num_devices=4
+    python -m repro run --arrival poisson --offered-qps 120   # open loop
     python -m repro sweep --param serving.concurrency --values 1,2,4
+    python -m repro sweep --param traffic.offered_qps --values 40,80,160
     python -m repro list-backends
 
 Output is either the :mod:`repro.analysis.reporting` table format (default)
@@ -70,6 +72,21 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, help="workload and model seed")
     parser.add_argument("--concurrency", type=int, help="serving streams per host")
     parser.add_argument("--warmup", type=int, help="warmup queries before measurement")
+    parser.add_argument(
+        "--arrival",
+        choices=["closed", "poisson", "constant"],
+        help="traffic shape: closed loop (default) or an open-loop arrival process",
+    )
+    parser.add_argument(
+        "--offered-qps",
+        type=float,
+        help="open-loop offered load in arrivals per second (implies --arrival poisson)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        help="open-loop admission queue capacity, 0 sheds immediately (implies --arrival poisson)",
+    )
     parser.add_argument("--platform", help="host platform for power accounting, e.g. HW-SS")
     parser.add_argument("--baseline-platform", help="baseline platform to compare power against")
     parser.add_argument("--qps-per-host", type=float, help="analytic per-host QPS for fleet sizing")
@@ -114,6 +131,22 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
         spec = spec.replace("workload.item_batch", args.item_batch)
     if args.seed is not None:
         spec = spec.replace("model.seed", args.seed)
+        spec = spec.replace("traffic.seed", args.seed)
+    # Set the open-loop parameters before flipping the mode: TrafficSpec
+    # validates that open mode has an offered load the moment it is built.
+    if args.offered_qps is not None:
+        spec = spec.replace("traffic.offered_qps", args.offered_qps)
+    if args.queue_depth is not None:
+        spec = spec.replace("traffic.queue_depth", args.queue_depth)
+    if args.arrival is not None:
+        if args.arrival != "closed":
+            spec = spec.replace("traffic.arrival", args.arrival)
+        spec = spec.replace("traffic.mode", "closed" if args.arrival == "closed" else "open")
+    elif args.offered_qps is not None or args.queue_depth is not None:
+        # An offered load (or queue depth) only means something in open loop;
+        # silently running closed-loop would ignore it.  `--arrival closed`
+        # opts out explicitly.
+        spec = spec.replace("traffic.mode", "open")
     for key, value in _parse_options(args.option).items():
         spec = spec.replace(f"backend.options.{key}", value)
     return spec
@@ -138,7 +171,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"unknown sweep metric {args.metric!r}; choices: "
             f"{sorted(f.name for f in dataclasses.fields(ScenarioResult))}"
         )
-    points = Session(_spec_from_args(args)).sweep(args.param, values)
+    spec = _spec_from_args(args)
+    if args.param == "traffic.offered_qps" and spec.traffic.mode == "closed":
+        if args.arrival == "closed":
+            raise ValueError(
+                "sweeping traffic.offered_qps needs open-loop traffic, "
+                "but --arrival closed was given"
+            )
+        # Sweeping the offered load implies open-loop traffic; seed the spec
+        # with the first swept value so the open-mode validation passes.
+        spec = spec.replace("traffic.offered_qps", values[0])
+        spec = spec.replace("traffic.mode", "open")
+    points = Session(spec).sweep(args.param, values)
     if args.json:
         print(
             json.dumps(

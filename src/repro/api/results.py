@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import format_table
-from repro.serving.host_sim import HostSimulationResult
+from repro.serving.engine import HostSimulationResult
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,10 @@ class ScenarioResult:
     backend_stats: Dict[str, float] = field(default_factory=dict)
     power: Optional[PowerSummary] = None
     host_result: Optional[HostSimulationResult] = None  # raw, not serialised
+    traffic_mode: str = "closed"
+    offered_qps: Optional[float] = None  # open loop only (measured from arrivals)
+    dropped_queries: int = 0
+    queueing: Optional[Dict[str, float]] = None  # queue-delay mean/p50/p95/p99
 
     def percentile_ms(self, key: str) -> float:
         return self.latency[key] * 1e3
@@ -77,6 +81,10 @@ class ScenarioResult:
             "slo_headroom": self.slo_headroom,
             "backend_stats": dict(self.backend_stats),
             "power": self.power.to_dict() if self.power is not None else None,
+            "traffic_mode": self.traffic_mode,
+            "offered_qps": self.offered_qps,
+            "dropped_queries": self.dropped_queries,
+            "queueing_seconds": dict(self.queueing) if self.queueing is not None else None,
         }
 
     def summary_rows(self) -> List[List[Any]]:
@@ -91,6 +99,12 @@ class ScenarioResult:
             ["p99 latency (ms)", round(self.percentile_ms("p99"), 3)],
             ["meets SLO", self.meets_slo],
         ]
+        if self.traffic_mode == "open":
+            if self.offered_qps is not None:
+                rows.append(["offered QPS", round(self.offered_qps, 1)])
+            rows.append(["dropped queries", self.dropped_queries])
+            if self.queueing is not None:
+                rows.append(["p99 queue delay (ms)", round(self.queueing["p99"] * 1e3, 3)])
         for key, value in self.backend_stats.items():
             rows.append([key, round(value, 3) if isinstance(value, float) else value])
         if self.power is not None:

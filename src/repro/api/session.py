@@ -28,10 +28,10 @@ from repro.dlrm.inference import ComputeSpec, EmbeddingBackend, InferenceEngine,
 from repro.dlrm.model import DLRMModel
 from repro.dlrm.model_config import build_scaled_model
 from repro.serving.capacity_planner import DeploymentScenario, plan_deployment
-from repro.serving.host_sim import HostSimulationResult, ServingSimulator
+from repro.serving.engine import HostSimulationResult, OpenLoopResult, ServingEngine
 from repro.serving.platform import ALL_PLATFORMS
 from repro.serving.power import PowerModel, power_saving
-from repro.workload.generator import QueryGenerator
+from repro.workload.generator import QueryGenerator, generate_arrival_times
 
 # Imported for its side effect: registering the built-in backends.
 import repro.api.backends  # noqa: F401
@@ -115,24 +115,54 @@ class Session:
 
     # ---------------------------------------------------------------- running
     def run(self) -> ScenarioResult:
-        """Serve the query stream and return the structured result."""
+        """Serve the query stream and return the structured result.
+
+        ``spec.traffic`` picks the serving discipline: closed loop (the seed
+        behaviour) or the event-driven open loop with an arrival process and
+        a bounded admission queue.
+        """
         serving = self.spec.serving
         queries = self.queries()
         warmup = serving.warmup_queries
+        engine = ServingEngine(
+            self.engine, serving.concurrency, store_results=serving.store_results
+        )
         if serving.reset_stats_after_warmup and warmup > 0:
             # Warm the caches outside the measured window, then measure
             # steady-state statistics only.
             for query in queries[:warmup]:
                 self.engine.run_query(query, start_time=0.0)
             self._reset_backend_stats()
-            host_result = ServingSimulator(self.engine, serving.concurrency).run(
-                queries[warmup:], warmup_queries=0
-            )
-        else:
-            host_result = ServingSimulator(self.engine, serving.concurrency).run(
-                queries, warmup_queries=warmup
-            )
+            queries = queries[warmup:]
+            warmup = 0
+        host_result = self._serve(engine, queries, warmup)
         return self._build_result(host_result)
+
+    def _serve(
+        self, engine: ServingEngine, queries: Sequence[Query], warmup: int
+    ) -> HostSimulationResult:
+        traffic = self.spec.traffic
+        if traffic.mode == "closed":
+            return engine.run_closed_loop(queries, warmup_queries=warmup)
+        arrivals = generate_arrival_times(
+            len(queries) - warmup,
+            process=traffic.arrival,
+            offered_qps=traffic.offered_qps,
+            seed=traffic.seed,
+            trace=traffic.trace or None,
+        )
+        return engine.run_open_loop(
+            queries,
+            arrivals,
+            queue_depth=traffic.queue_depth,
+            warmup_queries=warmup,
+        )
+
+    # Traffic parameters the closed loop never reads: sweeping one of these
+    # with closed-loop traffic would silently produce identical points.
+    _OPEN_LOOP_ONLY_PARAMS = frozenset(
+        {"traffic.offered_qps", "traffic.queue_depth", "traffic.arrival", "traffic.trace"}
+    )
 
     def sweep(self, param: str, values: Sequence[Any]) -> List[SweepPoint]:
         """Run the scenario once per value of ``param`` (dotted spec path).
@@ -142,6 +172,12 @@ class Session:
         """
         if not values:
             raise ValueError("sweep needs at least one value")
+        if param in self._OPEN_LOOP_ONLY_PARAMS and self.spec.traffic.mode == "closed":
+            raise ValueError(
+                f"sweeping {param!r} has no effect with closed-loop traffic; "
+                f"set traffic.mode='open' (e.g. TrafficSpec(mode='open', "
+                f"arrival='poisson', offered_qps=...))"
+            )
         points: List[SweepPoint] = []
         for value in values:
             session = Session(self.spec.replace(param, value), compute=self.compute)
@@ -268,6 +304,15 @@ class Session:
 
     def _build_result(self, host_result: HostSimulationResult) -> ScenarioResult:
         target = self.spec.serving.latency_target()
+        queueing = None
+        dropped = 0
+        offered_qps = None
+        if isinstance(host_result, OpenLoopResult):
+            queueing = (
+                host_result.queueing_percentiles() if host_result.queue_delays else None
+            )
+            dropped = host_result.dropped_queries
+            offered_qps = host_result.offered_qps
         return ScenarioResult(
             scenario=self.spec.name,
             backend_name=self.spec.backend.name,
@@ -281,4 +326,8 @@ class Session:
             backend_stats=self._backend_stats(),
             power=self.power_summary(host_result),
             host_result=host_result,
+            traffic_mode=self.spec.traffic.mode,
+            offered_qps=offered_qps,
+            dropped_queries=dropped,
+            queueing=queueing,
         )

@@ -18,7 +18,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.dlrm.model_config import ALL_MODEL_SPECS, ModelSpec, figure1_model_spec
 from repro.serving.latency import LatencyTarget
 from repro.sim.units import MILLISECOND
-from repro.workload.generator import WorkloadConfig
+from repro.workload.generator import ARRIVAL_PROCESSES, WorkloadConfig
 
 
 def model_spec_by_name(name: str) -> ModelSpec:
@@ -92,6 +92,49 @@ class WorkloadChoice:
 
 
 @dataclass(frozen=True)
+class TrafficSpec:
+    """How queries arrive at the host: closed loop, or an open-loop process.
+
+    ``mode="closed"`` (the default) reproduces the seed behaviour: each of
+    the host's serving streams issues its next query the instant the previous
+    one completes, so the host is always exactly saturated.  ``mode="open"``
+    drives the event-driven engine instead: queries arrive on their own
+    schedule (``arrival`` = ``poisson``, ``constant`` or ``trace``) at
+    ``offered_qps``, wait in a bounded admission queue of ``queue_depth``
+    slots, and are shed when the queue is full — which is what makes
+    latency-vs-offered-load curves and saturation knees measurable.
+    """
+
+    mode: str = "closed"
+    arrival: str = "poisson"
+    offered_qps: Optional[float] = None
+    queue_depth: int = 64
+    trace: Tuple[float, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"traffic mode must be 'closed' or 'open': {self.mode!r}")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; known: "
+                f"{list(ARRIVAL_PROCESSES)}"
+            )
+        if self.queue_depth < 0:
+            raise ValueError(f"queue_depth must be non-negative: {self.queue_depth}")
+        object.__setattr__(self, "trace", tuple(float(t) for t in self.trace))
+        if self.mode == "open":
+            if self.arrival == "trace":
+                if not self.trace:
+                    raise ValueError("open-loop trace arrivals need a non-empty trace")
+            elif self.offered_qps is None or self.offered_qps <= 0:
+                raise ValueError(
+                    f"open-loop {self.arrival} arrivals need a positive "
+                    f"offered_qps: {self.offered_qps}"
+                )
+
+
+@dataclass(frozen=True)
 class ServingChoice:
     """Host-level serving parameters, the SLO, and optional fleet accounting.
 
@@ -104,6 +147,7 @@ class ServingChoice:
     concurrency: int = 2
     warmup_queries: int = 40
     reset_stats_after_warmup: bool = False
+    store_results: bool = True
     slo_percentile: float = 95.0
     slo_budget_ms: float = 25.0
 
@@ -136,28 +180,33 @@ _SECTION_TYPES = {
     "model": ModelChoice,
     "backend": BackendChoice,
     "workload": WorkloadChoice,
+    "traffic": TrafficSpec,
     "serving": ServingChoice,
 }
 
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One fully-described experiment: model + backend + workload + serving."""
+    """One fully-described experiment: model + backend + workload + traffic + serving."""
 
     name: str = "scenario"
     model: ModelChoice = field(default_factory=ModelChoice)
     backend: BackendChoice = field(default_factory=BackendChoice)
     workload: WorkloadChoice = field(default_factory=WorkloadChoice)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
     serving: ServingChoice = field(default_factory=ServingChoice)
 
     # ------------------------------------------------------------- serialise
     def to_dict(self) -> Dict[str, Any]:
         """A plain, JSON-serialisable dict that round-trips via ``from_dict``."""
+        traffic = dataclasses.asdict(self.traffic)
+        traffic["trace"] = list(traffic["trace"])  # tuples do not survive JSON
         return {
             "name": self.name,
             "model": dataclasses.asdict(self.model),
             "backend": {"name": self.backend.name, "options": dict(self.backend.options)},
             "workload": dataclasses.asdict(self.workload),
+            "traffic": traffic,
             "serving": dataclasses.asdict(self.serving),
         }
 

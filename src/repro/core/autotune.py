@@ -12,8 +12,8 @@ p95 latency).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from repro.core.config import SDMConfig
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.core.placement import PlacementPolicy
-from repro.sim.units import GIB, MIB
+from repro.sim.units import MIB
 from repro.storage.io_engine import IOEngineConfig
 from repro.storage.spec import Technology
 

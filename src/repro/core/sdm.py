@@ -13,7 +13,7 @@ the item-side work (Equation 3 of the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,7 +24,7 @@ from repro.core.depruning import deprune_table
 from repro.core.dequantization import DequantizedTable, dequantize_table
 from repro.core.placement import Placement, Tier, compute_placement
 from repro.core.pooled_cache import PooledEmbeddingCache
-from repro.dlrm.embedding import EmbeddingTable, EmbeddingTableSpec
+from repro.dlrm.embedding import EmbeddingTableSpec
 from repro.dlrm.inference import ComputeSpec, EmbeddingBackend
 from repro.dlrm.model import DLRMModel
 from repro.dlrm.pruning import PRUNED, PrunedEmbeddingTable

@@ -7,8 +7,8 @@ real data whether it came from DRAM, the FM row cache, or a simulated SSD.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ lives here and the SDM backend in :mod:`repro.core.sdm`.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np

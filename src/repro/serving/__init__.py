@@ -26,15 +26,23 @@ from repro.serving.capacity_planner import (
     hosts_needed,
     plan_deployment,
     qps_per_host,
+    capacity_plan_from_host_result,
     sm_bound_qps,
     ssds_needed,
 )
-from repro.serving.scaleout import ScaleOutPlan, plan_scale_out
+from repro.serving.scaleout import ScaleOutPlan, plan_scale_out, plan_scale_out_from_result
 from repro.serving.multitenancy import MultiTenancyScenario, evaluate_multi_tenancy
-from repro.serving.host_sim import HostSimulationResult, ServingSimulator
+from repro.serving.engine import (
+    HostSimulationResult,
+    OpenLoopResult,
+    QueryRecord,
+    ServingEngine,
+    ServingSimulator,
+)
 from repro.serving.fleet import (
     RollingUpdateConfig,
     RollingUpdateReport,
+    rolling_update_from_host_result,
     simulate_rolling_update,
 )
 
@@ -61,11 +69,17 @@ __all__ = [
     "ssds_needed",
     "ScaleOutPlan",
     "plan_scale_out",
+    "plan_scale_out_from_result",
     "MultiTenancyScenario",
     "evaluate_multi_tenancy",
+    "ServingEngine",
     "ServingSimulator",
     "HostSimulationResult",
+    "OpenLoopResult",
+    "QueryRecord",
     "RollingUpdateConfig",
     "RollingUpdateReport",
+    "capacity_plan_from_host_result",
+    "rolling_update_from_host_result",
     "simulate_rolling_update",
 ]

@@ -1,118 +1,27 @@
-"""Host-level serving simulation.
+"""Host-level serving simulation (compatibility module).
 
-Runs a query stream through an :class:`~repro.dlrm.inference.InferenceEngine`
-(whose user-embedding backend may be a DRAM reference or an SDM instance),
-collects per-query latencies in simulated time, and reports achieved QPS and
-whether the latency SLO is met.  This is the harness behind the end-to-end
-comparisons (Figure 6 placement sensitivity, the Table 8/9 per-host QPS
-checks and the appendix ablations).
+The serving stack now lives in :mod:`repro.serving.engine`, which runs both
+the seed's closed-loop round-robin schedule and the event-driven open-loop
+mode on one engine.  This module re-exports the historical names so existing
+imports (``from repro.serving.host_sim import ServingSimulator``) keep
+working; new code should import from :mod:`repro.serving.engine` (or
+:mod:`repro.serving`) directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from repro.serving.engine import (
+    HostSimulationResult,
+    OpenLoopResult,
+    QueryRecord,
+    ServingEngine,
+    ServingSimulator,
+)
 
-from repro.analysis.metrics import Histogram
-from repro.dlrm.inference import InferenceEngine, Query, QueryResult
-from repro.serving.latency import LatencyTarget, latency_percentiles
-
-
-@dataclass
-class HostSimulationResult:
-    """Outcome of serving one query stream on one simulated host."""
-
-    num_queries: int
-    concurrency: int
-    makespan_seconds: float
-    latencies: List[float]
-    results: List[QueryResult] = field(default_factory=list)
-
-    @property
-    def achieved_qps(self) -> float:
-        if self.makespan_seconds <= 0:
-            return 0.0
-        return self.num_queries / self.makespan_seconds
-
-    @property
-    def mean_latency(self) -> float:
-        if not self.latencies:
-            return 0.0
-        return sum(self.latencies) / len(self.latencies)
-
-    def percentile_latency(self, pct: float) -> float:
-        from repro.analysis.metrics import percentile
-
-        return percentile(self.latencies, pct)
-
-    def percentiles(self) -> Dict[str, float]:
-        return latency_percentiles(self.latencies)
-
-    def qps_at_latency(self, target: LatencyTarget) -> float:
-        """Throughput sustainable while meeting the latency SLO.
-
-        With ``concurrency`` independent serving streams, the host can accept
-        one query per stream per target-percentile latency; if the SLO is
-        already violated, throughput is scaled down by the ratio of budget to
-        observed latency (the host must shed load to recover the SLO).
-        """
-        observed = self.percentile_latency(target.percentile)
-        per_stream_rate = 1.0 / max(observed, 1e-12)
-        qps = self.concurrency * per_stream_rate
-        if observed <= target.budget_seconds:
-            return qps
-        return qps * (target.budget_seconds / observed)
-
-    def meets(self, target: LatencyTarget) -> bool:
-        return target.met_by(self.latencies)
-
-
-class ServingSimulator:
-    """Drives queries through an inference engine on one simulated host."""
-
-    def __init__(self, engine: InferenceEngine, concurrency: int = 1) -> None:
-        if concurrency <= 0:
-            raise ValueError(f"concurrency must be positive: {concurrency}")
-        self.engine = engine
-        self.concurrency = concurrency
-
-    def run(self, queries: Sequence[Query], warmup_queries: int = 0) -> HostSimulationResult:
-        """Serve ``queries`` closed-loop across ``concurrency`` streams.
-
-        The first ``warmup_queries`` are executed (so caches warm up) but are
-        excluded from the reported latencies and the makespan, mirroring the
-        paper's focus on steady-state behaviour.
-        """
-        if not queries:
-            raise ValueError("run() needs at least one query")
-        if warmup_queries < 0:
-            raise ValueError(f"warmup_queries must be non-negative: {warmup_queries}")
-        if warmup_queries >= len(queries):
-            raise ValueError(
-                f"warmup_queries ({warmup_queries}) must leave measured queries "
-                f"({len(queries)} supplied)"
-            )
-
-        for query in queries[:warmup_queries]:
-            self.engine.run_query(query, start_time=0.0)
-
-        measured = queries[warmup_queries:]
-        stream_clock = [0.0] * self.concurrency
-        latencies: List[float] = []
-        results: List[QueryResult] = []
-        histogram = Histogram("latency")
-        for position, query in enumerate(measured):
-            stream = position % self.concurrency
-            result = self.engine.run_query(query, start_time=stream_clock[stream])
-            stream_clock[stream] += result.latency
-            latencies.append(result.latency)
-            histogram.add(result.latency)
-            results.append(result)
-
-        return HostSimulationResult(
-            num_queries=len(measured),
-            concurrency=self.concurrency,
-            makespan_seconds=max(stream_clock),
-            latencies=latencies,
-            results=results,
-        )
+__all__ = [
+    "HostSimulationResult",
+    "OpenLoopResult",
+    "QueryRecord",
+    "ServingEngine",
+    "ServingSimulator",
+]

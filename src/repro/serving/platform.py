@@ -8,8 +8,8 @@ as the baseline of each experiment*, which is how the paper reports it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from repro.sim.units import GB, TB
 from repro.storage.spec import DeviceSpec, nand_flash_spec, optane_ssd_spec

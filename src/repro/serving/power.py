@@ -10,7 +10,7 @@ host power divided by utilisation for the multi-tenancy roofline (Table 11).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping
 
 from repro.serving.platform import HostPlatform
 

@@ -12,9 +12,8 @@ bytes written and exposes both the paper's formula and a rate-based view.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.sim.units import SECOND
 from repro.storage.spec import DeviceSpec
 
 SECONDS_PER_DAY = 86_400.0

@@ -15,7 +15,7 @@ This module models those costs and constraints:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.units import BLOCK_SIZE, MICROSECOND

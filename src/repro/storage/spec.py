@@ -9,7 +9,7 @@ carry the power numbers used by the serving-level power model.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.sim.units import GB, KIB, MICROSECOND, TB

@@ -9,7 +9,12 @@ paper applies to its traces.
 """
 
 from repro.workload.zipf import ZipfGenerator
-from repro.workload.generator import QueryGenerator, WorkloadConfig
+from repro.workload.generator import (
+    ARRIVAL_PROCESSES,
+    QueryGenerator,
+    WorkloadConfig,
+    generate_arrival_times,
+)
 from repro.workload.locality import (
     spatial_locality_ratio,
     spatial_locality_windows,
@@ -20,8 +25,10 @@ from repro.workload.routing import RequestRouter, RoutingPolicy
 
 __all__ = [
     "ZipfGenerator",
+    "ARRIVAL_PROCESSES",
     "QueryGenerator",
     "WorkloadConfig",
+    "generate_arrival_times",
     "temporal_locality_cdf",
     "top_fraction_coverage",
     "spatial_locality_ratio",

@@ -9,7 +9,7 @@ user population (which is what user-sticky routing exploits).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -76,6 +76,59 @@ class WorkloadConfig:
             raise ValueError(
                 f"pooling_factor_jitter must be in [0, 1): {self.pooling_factor_jitter}"
             )
+
+
+ARRIVAL_PROCESSES = ("poisson", "constant", "trace")
+
+
+def generate_arrival_times(
+    num_queries: int,
+    process: str = "poisson",
+    offered_qps: Optional[float] = None,
+    seed: int = 0,
+    trace: Optional[Sequence[float]] = None,
+    start_time: float = 0.0,
+) -> List[float]:
+    """Absolute arrival timestamps for an open-loop query stream.
+
+    ``poisson`` draws exponential inter-arrival gaps at rate ``offered_qps``
+    (seeded via :func:`repro.sim.rng.make_rng`, so streams are reproducible),
+    ``constant`` spaces arrivals exactly ``1/offered_qps`` apart, and
+    ``trace`` replays the first ``num_queries`` timestamps of a recorded
+    ``trace`` (which must be non-negative and non-decreasing).
+    """
+    if num_queries <= 0:
+        raise ValueError(f"num_queries must be positive: {num_queries}")
+    if start_time < 0:
+        raise ValueError(f"start_time must be non-negative: {start_time}")
+    if process not in ARRIVAL_PROCESSES:
+        raise ValueError(
+            f"unknown arrival process {process!r}; known: {list(ARRIVAL_PROCESSES)}"
+        )
+    if process == "trace":
+        if trace is None or len(trace) < num_queries:
+            raise ValueError(
+                f"trace arrivals need at least num_queries ({num_queries}) "
+                f"timestamps, got {0 if trace is None else len(trace)}"
+            )
+        times = [start_time + float(t) for t in trace[:num_queries]]
+        previous = 0.0
+        for time in times:
+            if time < 0:
+                raise ValueError(f"trace timestamps must be non-negative: {time}")
+            if time < previous:
+                raise ValueError("trace timestamps must be non-decreasing")
+            previous = time
+        return times
+    if offered_qps is None or offered_qps <= 0:
+        raise ValueError(
+            f"{process} arrivals need a positive offered_qps: {offered_qps}"
+        )
+    if process == "constant":
+        return [start_time + position / offered_qps for position in range(num_queries)]
+    rng = make_rng(seed, "arrivals", process)
+    gaps = rng.exponential(1.0 / offered_qps, size=num_queries)
+    return (start_time + np.cumsum(gaps) - gaps[0]).tolist()
 
 
 class QueryGenerator:

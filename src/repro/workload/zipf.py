@@ -9,7 +9,6 @@ despite strong *temporal* locality.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

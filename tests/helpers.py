@@ -20,7 +20,6 @@ from repro.dlrm import (
     MLP,
     Query,
 )
-from repro.sim.units import MIB
 from repro.workload import QueryGenerator, WorkloadConfig
 
 

@@ -14,7 +14,7 @@ from repro.api import (
     sdm_config_from_options,
     unregister_backend,
 )
-from repro.core import SDMConfig, SoftwareDefinedMemory
+from repro.core import SoftwareDefinedMemory
 from repro.core.config import AccessPathKind
 from repro.core.placement import PlacementPolicy
 from repro.dlrm import ComputeSpec, InMemoryBackend

@@ -21,7 +21,7 @@ from repro import (
     WorkloadConfig,
     build_scaled_model,
 )
-from repro.api import BackendChoice, ModelChoice, ServingChoice, WorkloadChoice
+from repro.api import BackendChoice, ModelChoice, ServingChoice, TrafficSpec, WorkloadChoice
 from repro.api.cli import main as cli_main
 from repro.sim.units import MIB
 from repro.storage import Technology
@@ -308,3 +308,188 @@ class TestCLI:
         )
         assert completed.returncode == 0, completed.stderr
         assert "sdm" in completed.stdout
+
+
+class TestTrafficSpec:
+    def test_defaults_are_closed_loop(self):
+        assert TrafficSpec().mode == "closed"
+        assert ScenarioSpec().traffic == TrafficSpec()
+
+    def test_round_trip_with_traffic(self):
+        spec = ScenarioSpec(
+            name="open",
+            traffic=TrafficSpec(mode="open", arrival="poisson", offered_qps=150.0),
+        )
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_trace_round_trips_through_json(self):
+        spec = ScenarioSpec(
+            traffic=TrafficSpec(mode="open", arrival="trace", trace=(0.0, 0.5, 1.0))
+        )
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.traffic.trace == (0.0, 0.5, 1.0)
+
+    def test_old_specs_without_traffic_section_still_load(self):
+        data = ScenarioSpec().to_dict()
+        del data["traffic"]
+        assert ScenarioSpec.from_dict(data) == ScenarioSpec()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(mode="half-open")
+        with pytest.raises(ValueError):
+            TrafficSpec(arrival="warp-drive")
+        with pytest.raises(ValueError):
+            TrafficSpec(mode="open", arrival="poisson")  # no offered_qps
+        with pytest.raises(ValueError):
+            TrafficSpec(mode="open", arrival="constant", offered_qps=-5.0)
+        with pytest.raises(ValueError):
+            TrafficSpec(mode="open", arrival="trace")  # no trace
+        with pytest.raises(ValueError):
+            TrafficSpec(queue_depth=-1)
+
+    def test_replace_traffic_path(self):
+        spec = ScenarioSpec().replace("traffic.offered_qps", 80.0)
+        spec = spec.replace("traffic.mode", "open")
+        assert spec.traffic.mode == "open"
+        assert spec.traffic.offered_qps == 80.0
+
+
+class TestOpenLoopSession:
+    def _open_spec(self, offered_qps=500.0, **traffic_overrides):
+        traffic = dict(mode="open", arrival="poisson", offered_qps=offered_qps, seed=3)
+        traffic.update(traffic_overrides)
+        return ScenarioSpec(
+            name="open-small",
+            model=ModelChoice(max_tables_per_group=2, max_rows_per_table=512),
+            backend=BackendChoice(
+                name="sdm",
+                options=dict(
+                    row_cache_capacity_bytes=256 * 1024,
+                    pooled_cache_capacity_bytes=128 * 1024,
+                ),
+            ),
+            workload=WorkloadChoice(num_queries=40, num_users=100),
+            traffic=TrafficSpec(**traffic),
+            serving=ServingChoice(concurrency=2, warmup_queries=10),
+        )
+
+    def test_run_reports_queueing_and_drops(self):
+        result = Session(self._open_spec()).run()
+        assert result.traffic_mode == "open"
+        assert result.offered_qps is not None and result.offered_qps > 0
+        assert result.queueing is not None
+        assert set(result.queueing) == {"mean", "p50", "p95", "p99"}
+        assert result.dropped_queries >= 0
+        payload = result.to_dict()
+        assert payload["traffic_mode"] == "open"
+        assert payload["queueing_seconds"] == result.queueing
+        assert "offered QPS" in result.summary_table()
+
+    def test_closed_loop_result_has_no_queueing(self):
+        spec = self._open_spec()
+        closed = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "traffic": {"mode": "closed"}}
+        )
+        result = Session(closed).run()
+        assert result.traffic_mode == "closed"
+        assert result.queueing is None
+        assert result.offered_qps is None
+
+    def test_overload_shows_queueing_above_service_time(self):
+        closed = Session(
+            ScenarioSpec.from_dict(
+                {**self._open_spec().to_dict(), "traffic": {"mode": "closed"}}
+            )
+        ).run()
+        capacity = closed.achieved_qps
+        hot = Session(self._open_spec(offered_qps=3.0 * capacity)).run()
+        assert hot.latency["p99"] > closed.latency["p99"]
+        assert hot.queueing["p99"] > 0.0
+
+    def test_store_results_false_drops_raw_results(self):
+        spec = self._open_spec()
+        spec = spec.replace("serving.store_results", False)
+        result = Session(spec).run()
+        assert result.host_result.results == []
+        assert result.num_queries == 30
+
+    def test_sweep_of_open_loop_param_with_closed_traffic_is_an_error(self):
+        closed = ScenarioSpec.from_dict(
+            {**self._open_spec().to_dict(), "traffic": {"mode": "closed"}}
+        )
+        for param in ("traffic.offered_qps", "traffic.queue_depth", "traffic.arrival"):
+            with pytest.raises(ValueError, match="closed-loop"):
+                Session(closed).sweep(param, [1, 2])
+
+    def test_sweep_over_offered_qps(self):
+        # The small scenario sustains a few thousand QPS closed-loop; sweep a
+        # point well below and a point well above that capacity.
+        points = Session(self._open_spec()).sweep(
+            "traffic.offered_qps", [500.0, 50_000.0]
+        )
+        assert [point.value for point in points] == [500.0, 50_000.0]
+        # Above the saturation knee, queueing delay dominates the p99.
+        assert points[1].result.queueing["p99"] > points[0].result.queueing["p99"]
+        assert points[1].result.latency["p99"] > points[0].result.latency["p99"]
+
+
+class TestOpenLoopCLI:
+    def _run_json(self, capsys, argv):
+        assert cli_main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_run_open_loop_arguments(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["run", "--rows", "256", "--queries", "30", "--warmup", "5",
+             "--users", "50", "--arrival", "poisson", "--offered-qps", "200",
+             "--queue-depth", "16", "--json"],
+        )
+        assert payload["traffic_mode"] == "open"
+        assert payload["offered_qps"] > 0
+        assert payload["queueing_seconds"] is not None
+
+    def test_arrival_closed_keeps_closed_loop(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["run", "--rows", "256", "--queries", "20", "--warmup", "0",
+             "--arrival", "closed", "--json"],
+        )
+        assert payload["traffic_mode"] == "closed"
+
+    def test_open_loop_without_offered_qps_is_a_user_error(self, capsys):
+        assert cli_main(["run", "--rows", "256", "--queries", "10",
+                         "--arrival", "poisson"]) == 2
+        assert "offered_qps" in capsys.readouterr().err
+
+    def test_offered_qps_alone_implies_open_loop(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["run", "--rows", "256", "--queries", "20", "--warmup", "0",
+             "--offered-qps", "150", "--json"],
+        )
+        assert payload["traffic_mode"] == "open"
+        assert payload["queueing_seconds"] is not None
+
+    def test_queue_depth_alone_without_rate_is_a_user_error(self, capsys):
+        assert cli_main(["run", "--rows", "256", "--queries", "10",
+                         "--queue-depth", "8"]) == 2
+        assert "offered_qps" in capsys.readouterr().err
+
+    def test_sweep_over_offered_qps_implies_open_loop(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["sweep", "--param", "traffic.offered_qps", "--values", "100,1000",
+             "--rows", "256", "--queries", "20", "--warmup", "0", "--json"],
+        )
+        assert [point["result"]["traffic_mode"] for point in payload] == ["open", "open"]
+        qps = [point["result"]["achieved_qps"] for point in payload]
+        assert qps[0] != qps[1]  # the offered load actually took effect
+
+    def test_sweep_offered_qps_with_arrival_closed_is_a_user_error(self, capsys):
+        assert cli_main(["sweep", "--param", "traffic.offered_qps",
+                         "--values", "100,200", "--arrival", "closed",
+                         "--rows", "256", "--queries", "10"]) == 2
+        assert "open-loop" in capsys.readouterr().err

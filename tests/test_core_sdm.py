@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import AccessPathKind, PlacementPolicy, SDMConfig, SoftwareDefinedMemory, Tier
-from repro.dlrm import ComputeSpec, prune_table
+from repro.core import AccessPathKind, PlacementPolicy, SoftwareDefinedMemory, Tier
+from repro.dlrm import prune_table
 from repro.storage import IOEngineConfig, Technology
 
 from helpers import reference_pooled, small_model, small_queries, small_sdm, small_sdm_config

@@ -6,7 +6,6 @@ from repro.dlrm import (
     M1_SPEC,
     M2_SPEC,
     M3_SPEC,
-    ModelSpec,
     build_scaled_model,
     figure1_model_spec,
 )

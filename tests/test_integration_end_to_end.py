@@ -6,7 +6,6 @@ by the host-level serving simulator, and compared against DRAM-only serving.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import SDMConfig, SoftwareDefinedMemory
 from repro.dlrm import (

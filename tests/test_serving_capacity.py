@@ -4,7 +4,6 @@ import pytest
 
 from repro.serving import (
     DeploymentScenario,
-    HW_AO,
     HW_L,
     HW_S,
     HW_SS,
@@ -15,7 +14,7 @@ from repro.serving import (
     ssds_needed,
 )
 from repro.serving.capacity_planner import profile_flops_per_query, query_latency_estimate
-from repro.sim.units import MICROSECOND, MILLISECOND
+from repro.sim.units import MICROSECOND
 from repro.storage import nand_flash_spec, optane_ssd_spec
 
 

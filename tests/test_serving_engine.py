@@ -1,0 +1,288 @@
+"""Tests for the event-driven serving engine (open loop + closed-loop parity)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving import LatencyTarget, OpenLoopResult, ServingEngine, ServingSimulator
+from repro.serving import capacity_plan_from_host_result
+from repro.serving.platform import HW_S, HW_SS
+from repro.serving.scaleout import plan_scale_out_from_result
+from repro.workload.generator import generate_arrival_times
+
+from helpers import small_engine, small_model, small_queries, small_sdm
+
+
+def _fresh(num_queries=30, concurrency=1, store_results=True):
+    """A deterministic engine + query stream (fresh caches every call)."""
+    model = small_model()
+    sdm = small_sdm(model)
+    engine = small_engine(model, sdm)
+    serving = ServingEngine(engine, concurrency=concurrency, store_results=store_results)
+    return serving, small_queries(model, num_queries)
+
+
+def _seed_reference_run(engine, queries, concurrency, warmup_queries=0):
+    """The seed ``ServingSimulator`` algorithm, replicated verbatim.
+
+    Round-robin stream assignment, position-order execution, per-stream
+    clocks — the closed-loop compatibility mode must reproduce this exactly.
+    """
+    for query in queries[:warmup_queries]:
+        engine.run_query(query, start_time=0.0)
+    measured = queries[warmup_queries:]
+    stream_clock = [0.0] * concurrency
+    latencies, scores = [], []
+    for position, query in enumerate(measured):
+        stream = position % concurrency
+        result = engine.run_query(query, start_time=stream_clock[stream])
+        stream_clock[stream] += result.latency
+        latencies.append(result.latency)
+        scores.append(result.scores)
+    return latencies, scores, max(stream_clock)
+
+
+class TestClosedLoopParity:
+    @pytest.mark.parametrize("concurrency,warmup", [(1, 0), (2, 5), (4, 0)])
+    def test_identical_latencies_scores_and_makespan(self, concurrency, warmup):
+        model = small_model()
+        reference_engine = small_engine(model, small_sdm(model))
+        queries = small_queries(model, 24)
+        ref_latencies, ref_scores, ref_makespan = _seed_reference_run(
+            reference_engine, queries, concurrency, warmup_queries=warmup
+        )
+
+        model2 = small_model()
+        engine2 = small_engine(model2, small_sdm(model2))
+        result = ServingSimulator(engine2, concurrency=concurrency).run(
+            small_queries(model2, 24), warmup_queries=warmup
+        )
+
+        assert result.latencies == ref_latencies
+        assert result.makespan_seconds == ref_makespan
+        for produced, expected in zip(result.results, ref_scores):
+            np.testing.assert_array_equal(produced.scores, expected)
+
+    def test_serving_simulator_exposes_engine_and_concurrency(self):
+        serving, _ = _fresh()
+        simulator = ServingSimulator(serving.engine, concurrency=3)
+        assert simulator.concurrency == 3
+        assert simulator.engine is serving.engine
+
+
+class TestOpenLoop:
+    def test_queueing_delay_is_real_above_capacity(self):
+        """Offered load above capacity must show queueing in the p99."""
+        closed_serving, queries = _fresh(60)
+        closed = closed_serving.run_closed_loop(queries, warmup_queries=10)
+        capacity = closed.num_queries / closed.makespan_seconds
+
+        open_serving, queries2 = _fresh(60)
+        arrivals = generate_arrival_times(
+            50, process="poisson", offered_qps=3.0 * capacity, seed=7
+        )
+        result = open_serving.run_open_loop(
+            queries2, arrivals, queue_depth=1000, warmup_queries=10
+        )
+        assert result.dropped_queries == 0
+        # End-to-end p99 includes queueing delay, so it strictly exceeds the
+        # closed-loop service-time p99.
+        assert result.percentile_latency(99) > closed.percentile_latency(99)
+        assert result.queueing_percentiles()["p99"] > 0.0
+
+    def test_low_offered_load_sees_no_queueing(self):
+        closed_serving, queries = _fresh(40)
+        closed = closed_serving.run_closed_loop(queries, warmup_queries=10)
+        capacity = closed.num_queries / closed.makespan_seconds
+
+        open_serving, queries2 = _fresh(40)
+        arrivals = generate_arrival_times(
+            30, process="constant", offered_qps=0.2 * capacity
+        )
+        result = open_serving.run_open_loop(queries2, arrivals, warmup_queries=10)
+        assert result.dropped_queries == 0
+        assert result.mean_queue_delay == pytest.approx(0.0, abs=1e-12)
+        # Latency == service time when nothing queues.
+        assert result.latencies == pytest.approx(result.service_times)
+
+    def test_zero_queue_depth_sheds_excess_load(self):
+        serving, queries = _fresh(40, concurrency=1)
+        # Everything arrives at t=0: one query is served immediately, the
+        # rest find no waiting room and are shed.
+        arrivals = [0.0] * 40
+        result = serving.run_open_loop(queries, arrivals, queue_depth=0)
+        assert result.offered_queries == 40
+        assert result.dropped_queries > 0
+        assert result.num_queries + result.dropped_queries == result.offered_queries
+        assert result.drop_rate == pytest.approx(result.dropped_queries / 40)
+
+    def test_bounded_queue_limits_waiting_room(self):
+        serving, queries = _fresh(20, concurrency=1)
+        result = serving.run_open_loop(queries, [0.0] * 20, queue_depth=5)
+        # 1 in service + 5 queued; the other 14 shed.
+        assert result.num_queries == 6
+        assert result.dropped_queries == 14
+
+    def test_records_split_latency_into_queueing_plus_service(self):
+        serving, queries = _fresh(30)
+        arrivals = generate_arrival_times(30, process="poisson", offered_qps=500.0, seed=3)
+        result = serving.run_open_loop(queries, arrivals, queue_depth=64)
+        assert len(result.records) == result.num_queries
+        for record in result.records:
+            assert record.latency == pytest.approx(
+                record.queue_delay + record.service_time
+            )
+            assert record.queue_delay >= 0.0
+            assert record.service_time > 0.0
+
+    def test_makespan_and_offered_qps(self):
+        serving, queries = _fresh(20)
+        arrivals = generate_arrival_times(20, process="constant", offered_qps=100.0)
+        result = serving.run_open_loop(queries, arrivals)
+        assert result.offered_qps == pytest.approx(100.0)
+        assert result.makespan_seconds >= arrivals[-1]
+        assert result.achieved_qps == pytest.approx(
+            result.num_queries / result.makespan_seconds
+        )
+
+    def test_trace_arrivals(self):
+        serving, queries = _fresh(5)
+        result = serving.run_open_loop(queries, [0.0, 0.01, 0.02, 0.5, 0.6])
+        assert result.num_queries == 5
+
+    def test_invalid_arguments_rejected(self):
+        serving, queries = _fresh(10)
+        with pytest.raises(ValueError):
+            ServingEngine(serving.engine, concurrency=0)
+        with pytest.raises(ValueError):
+            serving.run_open_loop([], [])
+        with pytest.raises(ValueError):
+            serving.run_open_loop(queries, [0.0] * 3)  # length mismatch
+        with pytest.raises(ValueError):
+            serving.run_open_loop(queries, [0.0] * 9 + [-1.0])
+        with pytest.raises(ValueError):
+            serving.run_open_loop(queries, list(reversed(range(10))))
+        with pytest.raises(ValueError):
+            serving.run_open_loop(queries, [0.0] * 10, queue_depth=-1)
+
+
+class TestStoreResults:
+    def test_closed_loop_skips_query_results(self):
+        serving, queries = _fresh(15, store_results=False)
+        result = serving.run_closed_loop(queries)
+        assert result.results == []
+        assert len(result.latencies) == 15
+
+    def test_open_loop_skips_results_and_records(self):
+        serving, queries = _fresh(15, store_results=False)
+        arrivals = generate_arrival_times(15, process="constant", offered_qps=50.0)
+        result = serving.run_open_loop(queries, arrivals)
+        assert result.results == []
+        assert result.records == []
+        assert len(result.latencies) == 15
+        assert len(result.queue_delays) == 15
+
+    def test_default_retains_results(self):
+        serving, queries = _fresh(8)
+        result = serving.run_closed_loop(queries)
+        assert len(result.results) == 8
+
+
+class TestOpenLoopResultMetrics:
+    def _result(self, latencies, queue_delays, makespan=10.0, concurrency=1):
+        service = [lat - q for lat, q in zip(latencies, queue_delays)]
+        return OpenLoopResult(
+            num_queries=len(latencies),
+            concurrency=concurrency,
+            makespan_seconds=makespan,
+            latencies=list(latencies),
+            offered_queries=len(latencies),
+            queue_delays=list(queue_delays),
+            service_times=service,
+        )
+
+    def test_qps_at_latency_estimates_capacity_when_slo_met(self):
+        # 10 queries over 10 s (1 QPS offered) with 10 ms service times: the
+        # host is underloaded, and its capacity is 1 stream / 10 ms = 100 QPS,
+        # not the 1 QPS it happened to be offered.
+        result = self._result([0.01] * 10, [0.0] * 10)
+        target = LatencyTarget(95, 0.02)
+        assert result.qps_at_latency(target) == pytest.approx(100.0)
+
+    def test_qps_at_latency_never_below_demonstrated_throughput(self):
+        # A host that measurably served this throughput within budget must
+        # never be credited with less, whatever the service-based estimate.
+        result = self._result([0.01] * 20, [0.005] * 20, makespan=10.0)
+        target = LatencyTarget(95, 0.02)
+        assert result.qps_at_latency(target) >= result.achieved_qps
+
+    def test_qps_at_latency_sheds_when_slo_violated(self):
+        result = self._result([0.08] * 10, [0.06] * 10)
+        target = LatencyTarget(95, 0.02)
+        expected = result.achieved_qps * (0.02 / 0.08)
+        assert result.qps_at_latency(target) == pytest.approx(expected)
+
+    def test_percentile_helpers(self):
+        result = self._result([0.02, 0.04], [0.01, 0.03])
+        assert result.queueing_percentiles()["p50"] == pytest.approx(0.02)
+        assert result.service_percentiles()["mean"] == pytest.approx(0.01)
+        assert result.mean_queue_delay == pytest.approx(0.02)
+
+    def test_drop_rate_of_empty_offered_stream_is_zero(self):
+        result = OpenLoopResult(
+            num_queries=0, concurrency=1, makespan_seconds=0.0, latencies=[]
+        )
+        assert result.drop_rate == 0.0
+
+
+class TestCapacityFromMeasurement:
+    def test_fleet_plan_consumes_open_loop_result(self):
+        serving, queries = _fresh(40)
+        arrivals = generate_arrival_times(30, process="poisson", offered_qps=400.0, seed=1)
+        result = serving.run_open_loop(queries, arrivals, warmup_queries=10)
+        target = LatencyTarget(95, result.percentile_latency(95) * 2)
+        sustainable = result.qps_at_latency(target)
+        fleet_qps = 10 * sustainable
+        plan = capacity_plan_from_host_result(
+            "measured", HW_SS, result, target, fleet_qps=fleet_qps
+        )
+        assert plan.num_hosts == math.ceil(fleet_qps / sustainable)
+        assert plan.scenario.qps_per_host == pytest.approx(sustainable)
+
+    def test_underloaded_measurement_does_not_inflate_the_fleet(self):
+        # A host offered far below its capacity must not be sized as if the
+        # offered load were its capacity (that would over-provision wildly).
+        serving, queries = _fresh(30)
+        closed_serving, queries2 = _fresh(30)
+        capacity = closed_serving.run_closed_loop(queries2, warmup_queries=10).achieved_qps
+        arrivals = generate_arrival_times(
+            20, process="constant", offered_qps=capacity / 50.0
+        )
+        result = serving.run_open_loop(queries, arrivals, warmup_queries=10)
+        target = LatencyTarget(95, result.percentile_latency(95) * 2)
+        # The sustainable estimate reflects service capacity, not offered load.
+        assert result.qps_at_latency(target) > 5 * result.achieved_qps
+
+    def test_saturated_host_needs_more_hosts(self):
+        serving, queries = _fresh(40)
+        arrivals = generate_arrival_times(30, process="poisson", offered_qps=400.0, seed=1)
+        result = serving.run_open_loop(queries, arrivals, warmup_queries=10)
+        healthy = LatencyTarget(95, result.percentile_latency(95) * 2)
+        violated = LatencyTarget(95, result.percentile_latency(95) / 4)
+        fleet_qps = 100 * result.achieved_qps
+        relaxed = capacity_plan_from_host_result("ok", HW_SS, result, healthy, fleet_qps)
+        strained = capacity_plan_from_host_result("hot", HW_SS, result, violated, fleet_qps)
+        assert strained.num_hosts > relaxed.num_hosts
+
+    def test_scale_out_plan_consumes_open_loop_result(self):
+        serving, queries = _fresh(30)
+        arrivals = generate_arrival_times(30, process="constant", offered_qps=200.0)
+        result = serving.run_open_loop(queries, arrivals)
+        target = LatencyTarget(95, result.percentile_latency(95) * 2)
+        fleet_qps = 20 * result.qps_at_latency(target)
+        plan = plan_scale_out_from_result(HW_SS, HW_S, result, target, fleet_qps=fleet_qps)
+        assert plan.num_main_hosts == math.ceil(fleet_qps / result.qps_at_latency(target))
+        assert plan.num_helper_hosts >= 1
+        with pytest.raises(ValueError):
+            plan_scale_out_from_result(HW_SS, HW_S, result, target, fleet_qps=0.0)

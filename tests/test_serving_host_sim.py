@@ -93,3 +93,26 @@ class TestHostSimulationResult:
             num_queries=3, concurrency=1, makespan_seconds=6.0, latencies=[1.0, 2.0, 3.0]
         )
         assert result.mean_latency == pytest.approx(2.0)
+
+    def test_qps_at_latency_within_budget_uses_full_stream_rate(self):
+        from repro.serving import HostSimulationResult
+
+        result = HostSimulationResult(
+            num_queries=4, concurrency=2, makespan_seconds=8.0, latencies=[2.0] * 4
+        )
+        # Observed p95 (2 s) is within budget: one query per stream per 2 s.
+        assert result.qps_at_latency(LatencyTarget(95, 4.0)) == pytest.approx(1.0)
+
+    def test_qps_at_latency_sheds_load_when_budget_exceeded(self):
+        from repro.serving import HostSimulationResult
+
+        result = HostSimulationResult(
+            num_queries=4, concurrency=1, makespan_seconds=8.0, latencies=[2.0] * 4
+        )
+        # Observed p95 (2 s) is twice the 1 s budget: the raw 0.5 QPS stream
+        # rate is scaled down by budget/observed = 0.5 -> 0.25 QPS.
+        assert result.qps_at_latency(LatencyTarget(95, 1.0)) == pytest.approx(0.25)
+        # Shedding is monotone: a tighter budget sustains strictly less.
+        assert result.qps_at_latency(LatencyTarget(95, 0.5)) < result.qps_at_latency(
+            LatencyTarget(95, 1.0)
+        )

@@ -40,6 +40,49 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             EventQueue().schedule(-1.0, lambda: None)
 
+    def test_len_tracks_interleaved_schedule_cancel_pop(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda: "a")
+        second = queue.schedule(2.0, lambda: "b")
+        assert len(queue) == 2
+        first.cancel()
+        assert len(queue) == 1
+        third = queue.schedule(3.0, lambda: "c")
+        assert len(queue) == 2
+        assert queue.pop() is second
+        assert len(queue) == 1
+        third.cancel()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pop() is event
+        # Cancelling an already-popped event must not affect the live count.
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_all_then_schedule_again(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(t), lambda: None) for t in range(1, 4)]
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+        revived = queue.schedule(0.5, lambda: "live")
+        assert len(queue) == 1
+        assert queue.pop() is revived
+
+    def test_cancelled_middle_event_skipped_in_order(self):
+        queue = EventQueue()
+        early = queue.schedule(1.0, lambda: None)
+        middle = queue.schedule(2.0, lambda: None)
+        late = queue.schedule(3.0, lambda: None)
+        middle.cancel()
+        assert [queue.pop(), queue.pop(), queue.pop()] == [early, late, None]
+
 
 class TestSimulator:
     def test_step_advances_clock_and_runs_callback(self):

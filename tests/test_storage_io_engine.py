@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.units import BLOCK_SIZE, GB, MICROSECOND
+from repro.sim.units import BLOCK_SIZE, GB
 from repro.storage import (
     BlockLayout,
     IOEngine,

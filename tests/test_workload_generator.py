@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.workload import QueryGenerator, WorkloadConfig
+from repro.workload import QueryGenerator, WorkloadConfig, generate_arrival_times
 
 from helpers import small_model
 
@@ -123,3 +123,44 @@ class TestQueryGenerator:
         model = small_model()
         with pytest.raises(ValueError):
             QueryGenerator(model).generate(0)
+
+
+class TestGenerateArrivalTimes:
+    def test_constant_spacing(self):
+        times = generate_arrival_times(5, process="constant", offered_qps=10.0)
+        assert times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_poisson_mean_rate_and_determinism(self):
+        times = generate_arrival_times(2000, process="poisson", offered_qps=100.0, seed=1)
+        again = generate_arrival_times(2000, process="poisson", offered_qps=100.0, seed=1)
+        assert times == again
+        assert times[0] == pytest.approx(0.0)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        measured_rate = (len(times) - 1) / (times[-1] - times[0])
+        assert measured_rate == pytest.approx(100.0, rel=0.1)
+
+    def test_poisson_different_seeds_differ(self):
+        a = generate_arrival_times(50, process="poisson", offered_qps=10.0, seed=0)
+        b = generate_arrival_times(50, process="poisson", offered_qps=10.0, seed=1)
+        assert a != b
+
+    def test_trace_replay_and_start_offset(self):
+        trace = [0.0, 0.5, 1.5, 9.0]
+        times = generate_arrival_times(3, process="trace", trace=trace, start_time=1.0)
+        assert times == pytest.approx([1.0, 1.5, 2.5])
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            generate_arrival_times(0, process="constant", offered_qps=1.0)
+        with pytest.raises(ValueError):
+            generate_arrival_times(5, process="warp-drive", offered_qps=1.0)
+        with pytest.raises(ValueError):
+            generate_arrival_times(5, process="poisson", offered_qps=0.0)
+        with pytest.raises(ValueError):
+            generate_arrival_times(5, process="constant", offered_qps=None)
+        with pytest.raises(ValueError):
+            generate_arrival_times(5, process="trace", trace=[0.0, 1.0])  # too short
+        with pytest.raises(ValueError):
+            generate_arrival_times(2, process="trace", trace=[1.0, 0.5])  # decreasing
+        with pytest.raises(ValueError):
+            generate_arrival_times(1, process="constant", offered_qps=1.0, start_time=-1.0)

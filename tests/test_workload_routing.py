@@ -3,7 +3,6 @@
 import pytest
 
 from repro.workload import QueryGenerator, RequestRouter, RoutingPolicy, WorkloadConfig
-from repro.workload.locality import top_fraction_coverage
 
 from helpers import small_model
 
