@@ -54,7 +54,17 @@ from repro.api import (
     register_backend,
 )
 from repro.analysis import format_series, format_table
+from repro.api.results import campaign_table, sweep_table
 from repro.core import SDMConfig, SoftwareDefinedMemory
+from repro.runtime import (
+    CampaignAxis,
+    CampaignSpec,
+    ExperimentStore,
+    PointOutcome,
+    RunComparison,
+    compare_runs,
+    run_campaign,
+)
 from repro.dlrm import (
     M1_SPEC,
     M2_SPEC,
@@ -85,6 +95,16 @@ __all__ = [
     "ScenarioResult",
     "PowerSummary",
     "SweepPoint",
+    "sweep_table",
+    "campaign_table",
+    # repro.runtime -- campaign orchestration
+    "CampaignAxis",
+    "CampaignSpec",
+    "PointOutcome",
+    "ExperimentStore",
+    "RunComparison",
+    "run_campaign",
+    "compare_runs",
     "register_backend",
     "create_backend",
     "available_backends",

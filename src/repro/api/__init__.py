@@ -28,7 +28,14 @@ from repro.api.registry import (
     register_backend,
     unregister_backend,
 )
-from repro.api.results import PowerSummary, ScenarioResult, SweepPoint, sweep_table
+from repro.api.results import (
+    PowerSummary,
+    ScenarioResult,
+    SweepPoint,
+    campaign_table,
+    scenario_metrics,
+    sweep_table,
+)
 from repro.api.session import Session
 from repro.api.backends import sdm_config_from_options  # registers built-ins on import
 
@@ -45,6 +52,8 @@ __all__ = [
     "PowerSummary",
     "SweepPoint",
     "sweep_table",
+    "campaign_table",
+    "scenario_metrics",
     "BackendFactory",
     "BackendRegistryError",
     "DuplicateBackendError",

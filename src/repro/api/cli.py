@@ -8,25 +8,36 @@ Subcommands::
     python -m repro run --arrival poisson --offered-qps 120   # open loop
     python -m repro sweep --param serving.concurrency --values 1,2,4
     python -m repro sweep --param traffic.offered_qps --values 40,80,160
+    python -m repro campaign --grid backend.name=dram,sdm \\
+        --grid serving.concurrency=1,2 --parallel 4 --out runs/demo
+    python -m repro campaign --out runs/demo --resume ...   # skip done points
+    python -m repro compare runs/baseline runs/demo
     python -m repro list-backends
 
 Output is either the :mod:`repro.analysis.reporting` table format (default)
-or JSON (``--json``) for downstream tooling.
+or JSON (``--json``) for downstream tooling.  ``compare`` exits non-zero when
+it finds regressions, so it slots directly into CI.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.api.registry import available_backends
-from repro.api.results import ScenarioResult, sweep_table
+from repro.api.results import campaign_table, scenario_metrics, sweep_table
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec
+from repro.runtime import (
+    CampaignSpec,
+    ExperimentStore,
+    MetricSpec,
+    compare_runs,
+    run_campaign,
+)
 
 
 def _parse_value(text: str) -> Any:
@@ -165,11 +176,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     values = [_parse_value(token) for token in args.values.split(",") if token]
     if not values:
         raise ValueError("--values must list at least one value")
-    if not args.json and args.metric not in {f.name for f in dataclasses.fields(ScenarioResult)}:
+    if not args.json and args.metric not in scenario_metrics():
         # Validate before the (expensive) sweep runs, not after.
         raise ValueError(
-            f"unknown sweep metric {args.metric!r}; choices: "
-            f"{sorted(f.name for f in dataclasses.fields(ScenarioResult))}"
+            f"unknown sweep metric {args.metric!r}; choices: {scenario_metrics()}"
         )
     spec = _spec_from_args(args)
     if args.param == "traffic.offered_qps" and spec.traffic.mode == "closed":
@@ -182,7 +192,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # with the first swept value so the open-mode validation passes.
         spec = spec.replace("traffic.offered_qps", values[0])
         spec = spec.replace("traffic.mode", "open")
-    points = Session(spec).sweep(args.param, values)
+    points = Session(spec).sweep(args.param, values, parallel=args.parallel)
     if args.json:
         print(
             json.dumps(
@@ -196,6 +206,117 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print(sweep_table(points, metric=args.metric))
     return 0
+
+
+def _parse_grid(pairs: Sequence[str]) -> List[Tuple[str, List[Any]]]:
+    axes: List[Tuple[str, List[Any]]] = []
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--grid expects param=v1,v2,..., got {pair!r}")
+        param, _, raw = pair.partition("=")
+        values = [_parse_value(token) for token in raw.split(",") if token]
+        if not values:
+            raise ValueError(f"--grid {param!r} must list at least one value")
+        axes.append((param, values))
+    return axes
+
+
+def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
+    axes = _parse_grid(args.grid)
+    spec = _spec_from_args(args)
+    grid_params = {param for param, _ in axes}
+    if spec.traffic.mode == "closed" and "traffic.offered_qps" in grid_params:
+        if args.arrival == "closed":
+            raise ValueError(
+                "a traffic.offered_qps grid axis needs open-loop traffic, "
+                "but --arrival closed was given"
+            )
+        # An offered-load axis implies open-loop traffic; seed the spec with
+        # the axis' first value so the open-mode validation passes.
+        first = next(values[0] for param, values in axes if param == "traffic.offered_qps")
+        spec = spec.replace("traffic.offered_qps", first)
+        spec = spec.replace("traffic.mode", "open")
+    return CampaignSpec.from_grid(
+        spec, dict(axes), name=spec.name, replicates=args.replicates
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    campaign = _campaign_from_args(args)
+    metrics = args.metric or ["achieved_qps"]
+    if not args.json:
+        # Validate before the (expensive) grid runs, not after.
+        for metric in metrics:
+            if metric not in scenario_metrics():
+                raise ValueError(
+                    f"unknown metric {metric!r}; valid ScenarioResult metrics: "
+                    f"{scenario_metrics()}"
+                )
+    if args.resume and not args.out:
+        raise ValueError("--resume needs --out pointing at an existing run directory")
+    store = None
+    if args.out:
+        store = ExperimentStore(args.out)
+        if store.exists() and len(store) and not args.resume:
+            raise ValueError(
+                f"{store.root} already holds {len(store)} result(s); "
+                f"pass --resume to reuse them or a fresh --out"
+            )
+        store.write_campaign(campaign.to_dict())
+
+    def report(outcome, done, total):
+        origin = "store" if outcome.cached else "ran"
+        print(f"[{done}/{total}] {outcome.scenario} ({origin})", file=sys.stderr)
+
+    outcomes = run_campaign(
+        campaign,
+        parallel=args.parallel,
+        store=store,
+        progress=report if not args.quiet else None,
+        chunksize=args.chunksize,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "index": outcome.index,
+                        "spec_hash": outcome.spec_hash,
+                        "coords": [list(pair) for pair in outcome.labels],
+                        "cached": outcome.cached,
+                        "result": outcome.metrics,
+                    }
+                    for outcome in outcomes
+                ],
+                indent=2,
+            )
+        )
+    else:
+        print(campaign_table(outcomes, metrics, title=f"campaign: {campaign.name}"))
+        if store is not None:
+            executed = sum(1 for outcome in outcomes if not outcome.cached)
+            print(
+                f"{executed} point(s) executed, {len(outcomes) - executed} from "
+                f"{store.root}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    for root in (args.baseline, args.candidate):
+        if not ExperimentStore(root).exists():
+            raise ValueError(f"no campaign results at {root!r} (expected results.jsonl)")
+    metrics = [MetricSpec.parse(text) for text in args.metric] if args.metric else None
+    comparison = compare_runs(
+        args.baseline, args.candidate, metrics=metrics, tolerance=args.tolerance
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(comparison.table())
+    # CI contract: a regression is a failing exit code, not just a table row.
+    return 1 if comparison.regressions else 0
 
 
 def _cmd_list_backends(args: argparse.Namespace) -> int:
@@ -228,7 +349,70 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--metric", default="achieved_qps", help="ScenarioResult attribute to tabulate"
     )
+    sweep_parser.add_argument(
+        "--parallel", type=int, default=1, help="worker processes for the sweep points"
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run a multi-axis scenario grid, optionally persisted"
+    )
+    _add_scenario_arguments(campaign_parser)
+    campaign_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        required=True,
+        metavar="PARAM=V1,V2,...",
+        help="grid axis (repeatable), e.g. --grid backend.name=dram,sdm",
+    )
+    campaign_parser.add_argument(
+        "--parallel", type=int, default=1, help="worker processes for fresh points"
+    )
+    campaign_parser.add_argument(
+        "--chunksize", type=int, default=1, help="points per process-pool task"
+    )
+    campaign_parser.add_argument(
+        "--replicates", type=int, default=1, help="seed replicates per grid point"
+    )
+    campaign_parser.add_argument(
+        "--out", metavar="DIR", help="experiment store directory (enables memoisation)"
+    )
+    campaign_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve already-completed points from --out instead of refusing",
+    )
+    campaign_parser.add_argument(
+        "--metric",
+        action="append",
+        metavar="NAME",
+        help="ScenarioResult attribute column (repeatable; default achieved_qps)",
+    )
+    campaign_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress on stderr"
+    )
+    campaign_parser.set_defaults(handler=_cmd_campaign)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="diff two stored campaign runs and flag regressions"
+    )
+    compare_parser.add_argument("baseline", help="baseline run directory (--out of a campaign)")
+    compare_parser.add_argument("candidate", help="candidate run directory")
+    compare_parser.add_argument(
+        "--metric",
+        action="append",
+        metavar="PATH[:higher|lower]",
+        help="result metric to compare (repeatable), e.g. latency_seconds.p99:lower",
+    )
+    compare_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="relative worsening allowed before a metric counts as regressed",
+    )
+    compare_parser.add_argument("--json", action="store_true", help="emit JSON")
+    compare_parser.set_defaults(handler=_cmd_compare)
 
     list_parser = subparsers.add_parser("list-backends", help="show registered backends")
     list_parser.add_argument("--json", action="store_true", help="emit JSON")

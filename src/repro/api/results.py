@@ -9,10 +9,12 @@ of Equation 7 via :mod:`repro.serving.power`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.reporting import format_table
+from repro.api.spec import coord_label
 from repro.serving.engine import HostSimulationResult
 
 
@@ -65,6 +67,36 @@ class ScenarioResult:
 
     def percentile_ms(self, key: str) -> float:
         return self.latency[key] * 1e3
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The inverse of :meth:`to_dict` for everything it serialises; the raw
+        ``host_result`` is not serialised, so it comes back as ``None``.  This
+        is how campaign results cross process boundaries and re-enter from the
+        experiment store.
+        """
+        power = data.get("power")
+        queueing = data.get("queueing_seconds")
+        return cls(
+            scenario=data["scenario"],
+            backend_name=data["backend"],
+            num_queries=data["num_queries"],
+            concurrency=data["concurrency"],
+            makespan_seconds=data["makespan_seconds"],
+            achieved_qps=data["achieved_qps"],
+            latency=dict(data["latency_seconds"]),
+            meets_slo=data["meets_slo"],
+            slo_headroom=data["slo_headroom"],
+            backend_stats=dict(data.get("backend_stats") or {}),
+            power=PowerSummary(**power) if power is not None else None,
+            host_result=None,
+            traffic_mode=data.get("traffic_mode", "closed"),
+            offered_qps=data.get("offered_qps"),
+            dropped_queries=data.get("dropped_queries", 0),
+            queueing=dict(queueing) if queueing is not None else None,
+        )
 
     # ------------------------------------------------------------- reporting
     def to_dict(self) -> Dict[str, Any]:
@@ -129,11 +161,66 @@ class SweepPoint:
     result: ScenarioResult
 
 
+def scenario_metrics() -> List[str]:
+    """The metric names a :class:`ScenarioResult` exposes (its field names)."""
+    return sorted(f.name for f in dataclasses.fields(ScenarioResult))
+
+
+def _metric_value(result: ScenarioResult, metric: str) -> Any:
+    """``getattr`` with a typo-friendly error listing the valid metrics."""
+    if metric not in {f.name for f in dataclasses.fields(ScenarioResult)}:
+        raise ValueError(
+            f"unknown metric {metric!r}; valid ScenarioResult metrics: "
+            f"{scenario_metrics()}"
+        )
+    return getattr(result, metric)
+
+
 def sweep_table(points: List[SweepPoint], metric: str = "achieved_qps") -> str:
     """Format a one-dimensional sweep as a two-column series table."""
     if not points:
         raise ValueError("sweep_table needs at least one point")
     rows: List[Tuple[Any, Any]] = [
-        (point.value, getattr(point.result, metric)) for point in points
+        (point.value, _metric_value(point.result, metric)) for point in points
     ]
     return format_table([points[0].param, metric], rows, title="sweep")
+
+
+def campaign_table(
+    outcomes: Sequence[Any],
+    metrics: Union[str, Sequence[str]] = "achieved_qps",
+    *,
+    title: str = "campaign",
+) -> str:
+    """Format campaign outcomes as one row per grid point.
+
+    ``outcomes`` are the :class:`~repro.runtime.executor.PointOutcome` objects
+    ``run_campaign`` returns (anything with ``coords`` pairs and a
+    ``ScenarioResult``-valued ``result`` works).  Columns are the grid axes in
+    campaign order followed by one column per requested metric; metric names
+    are validated against the :class:`ScenarioResult` fields up front.
+    """
+    if not outcomes:
+        raise ValueError("campaign_table needs at least one outcome")
+    metric_names = [metrics] if isinstance(metrics, str) else list(metrics)
+    if not metric_names:
+        raise ValueError("campaign_table needs at least one metric")
+    for metric in metric_names:
+        _metric_value(outcomes[0].result, metric)  # validate before formatting
+    def coord_pairs(outcome: Any) -> Sequence[Tuple[str, Any]]:
+        # Prefer the expansion's disambiguated labels; fall back to labelling
+        # the raw coordinate values (e.g. for hand-built outcome rows).
+        labels = getattr(outcome, "labels", None)
+        if labels is not None:
+            return labels
+        return [(param, coord_label(value)) for param, value in outcome.coords]
+
+    params = [param for param, _ in coord_pairs(outcomes[0])]
+    rows: List[List[Any]] = []
+    for outcome in outcomes:
+        row: List[Any] = [value for _, value in coord_pairs(outcome)]
+        for metric in metric_names:
+            value = _metric_value(outcome.result, metric)
+            row.append(round(value, 4) if isinstance(value, float) else value)
+        rows.append(row)
+    return format_table(params + metric_names, rows, title=title)

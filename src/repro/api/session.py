@@ -18,11 +18,12 @@ session so runs are independent.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, List, Optional, Sequence
 
 from repro.api.registry import create_backend
 from repro.api.results import PowerSummary, ScenarioResult, SweepPoint
-from repro.api.spec import ScenarioSpec, model_spec_by_name
+from repro.api.spec import OPEN_LOOP_ONLY_PARAMS, ScenarioSpec, model_spec_by_name
 from repro.core.sdm import SoftwareDefinedMemory
 from repro.dlrm.inference import ComputeSpec, EmbeddingBackend, InferenceEngine, Query
 from repro.dlrm.model import DLRMModel
@@ -158,17 +159,21 @@ class Session:
             warmup_queries=warmup,
         )
 
-    # Traffic parameters the closed loop never reads: sweeping one of these
-    # with closed-loop traffic would silently produce identical points.
-    _OPEN_LOOP_ONLY_PARAMS = frozenset(
-        {"traffic.offered_qps", "traffic.queue_depth", "traffic.arrival", "traffic.trace"}
-    )
+    # Sweeping one of these with closed-loop traffic would silently produce
+    # identical points; campaign grids share the same guard via CampaignSpec.
+    _OPEN_LOOP_ONLY_PARAMS = OPEN_LOOP_ONLY_PARAMS
 
-    def sweep(self, param: str, values: Sequence[Any]) -> List[SweepPoint]:
+    def sweep(
+        self, param: str, values: Sequence[Any], *, parallel: int = 1
+    ) -> List[SweepPoint]:
         """Run the scenario once per value of ``param`` (dotted spec path).
 
         Each point runs in a fresh :class:`Session`, so cache state does not
-        leak between points.
+        leak between points.  ``parallel`` > 1 delegates to the campaign
+        executor (:func:`repro.runtime.run_campaign`) and runs the points on a
+        process pool; specs travel as dicts, so the per-point metrics are
+        identical to the serial run but the raw ``host_result`` is not
+        retained.
         """
         if not values:
             raise ValueError("sweep needs at least one value")
@@ -178,6 +183,36 @@ class Session:
                 f"set traffic.mode='open' (e.g. TrafficSpec(mode='open', "
                 f"arrival='poisson', offered_qps=...))"
             )
+        if parallel > 1:
+            if self.compute != ComputeSpec():
+                # Only the spec travels to worker processes; a custom compute
+                # model would be silently dropped there, making the parallel
+                # metrics diverge from the serial ones.
+                raise ValueError(
+                    "sweep(parallel>1) cannot carry a custom ComputeSpec "
+                    "(only the ScenarioSpec travels to worker processes); "
+                    "run serially or use the default compute model"
+                )
+            # Imported here: repro.runtime builds on repro.api, not vice versa.
+            from repro.runtime import CampaignSpec, run_campaign
+
+            campaign = CampaignSpec(
+                name=self.spec.name, base=self.spec, axes=((param, tuple(values)),)
+            )
+            outcomes = run_campaign(campaign, parallel=parallel)
+            return [
+                SweepPoint(
+                    param=param,
+                    value=value,
+                    # Campaign points run under coordinate-derived names;
+                    # restore the sweep contract that result.scenario matches
+                    # the serial run.
+                    result=dataclasses.replace(
+                        outcome.result, scenario=self.spec.name
+                    ),
+                )
+                for value, outcome in zip(values, outcomes)
+            ]
         points: List[SweepPoint] = []
         for value in values:
             session = Session(self.spec.replace(param, value), compute=self.compute)

@@ -12,6 +12,8 @@ builds is derived from the spec, so specs round-trip through ``to_dict`` /
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -184,6 +186,29 @@ _SECTION_TYPES = {
     "serving": ServingChoice,
 }
 
+#: Traffic parameters the closed loop never reads: varying one of these with
+#: closed-loop traffic silently produces identical experiments, so sweeps and
+#: campaign grids over them reject closed-loop base specs up front.
+OPEN_LOOP_ONLY_PARAMS = frozenset(
+    {"traffic.offered_qps", "traffic.queue_depth", "traffic.arrival", "traffic.trace"}
+)
+
+
+def coord_label(value: Any) -> Any:
+    """A compact, JSON-able label for one swept spec value.
+
+    Scalars pass through; spec sections label as their ``name`` field when
+    they have one (``BackendChoice(name="dram")`` → ``"dram"``); anything
+    else falls back to ``str``.  Shared by campaign point naming, stored
+    coordinates and table rendering so the three never drift apart.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    return str(value)
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -233,14 +258,37 @@ class ScenarioSpec:
             kwargs[section] = section_type(**raw)
         return cls(**kwargs)
 
+    # --------------------------------------------------------------- hashing
+    def canonical_json(self) -> str:
+        """A byte-stable JSON encoding of :meth:`to_dict`.
+
+        Keys are sorted and separators fixed, so the same logical spec always
+        encodes to the same string — across processes, interpreter runs and
+        :meth:`from_dict` round trips.  Non-JSON option values (enums that are
+        not ``str`` subclasses, paths, …) fall back to ``str(value)``, which
+        matches how they re-enter the spec from a JSON config file.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=str
+        )
+
+    def spec_hash(self) -> str:
+        """Content-address of this spec: SHA-256 of :meth:`canonical_json`.
+
+        The experiment store (:mod:`repro.runtime.store`) keys completed runs
+        by this hash, so its stability across processes is load-bearing.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
     # -------------------------------------------------------------- override
     def replace(self, path: str, value: Any) -> "ScenarioSpec":
         """Return a copy with the dotted ``path`` replaced by ``value``.
 
-        ``path`` addresses a spec field (``"name"``), a section field
-        (``"serving.concurrency"``) or a backend option
-        (``"backend.options.num_devices"``) — the addressing scheme
-        :meth:`Session.sweep` uses.
+        ``path`` addresses a spec field (``"name"``), a whole section
+        (``"backend"`` — ``value`` is a section instance or a mapping of its
+        fields), a section field (``"serving.concurrency"``) or a backend
+        option (``"backend.options.num_devices"``) — the addressing scheme
+        :meth:`Session.sweep` and campaign grids use.
         """
         parts = path.split(".")
         if parts[0] == "name" and len(parts) == 1:
@@ -250,6 +298,16 @@ class ScenarioSpec:
                 f"unknown spec path {path!r}; top-level keys: "
                 f"{['name'] + sorted(_SECTION_TYPES)}"
             )
+        if len(parts) == 1:
+            section_type = _SECTION_TYPES[parts[0]]
+            if isinstance(value, Mapping):
+                value = section_type(**value)
+            if not isinstance(value, section_type):
+                raise ValueError(
+                    f"replacing {path!r} needs a {section_type.__name__} or a "
+                    f"mapping of its fields, got {type(value).__name__}"
+                )
+            return dataclasses.replace(self, **{parts[0]: value})
         section = getattr(self, parts[0])
         if parts[0] == "backend" and len(parts) == 3 and parts[1] == "options":
             options = dict(section.options)

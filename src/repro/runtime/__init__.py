@@ -1,0 +1,56 @@
+"""Campaign orchestration: grids of scenarios, run in parallel, stored on disk.
+
+The runtime layer sits above :mod:`repro.api` and treats whole experiments as
+schedulable, cacheable units (the SimBricks-style split of orchestration from
+simulation):
+
+* :class:`CampaignSpec` (:mod:`repro.runtime.campaign`) — a base
+  :class:`~repro.api.spec.ScenarioSpec` crossed with a grid of dotted-path
+  parameter axes, expanded into deterministic, individually-specified points.
+* :func:`run_campaign` (:mod:`repro.runtime.executor`) — executes the points,
+  optionally on a process pool, streaming progress and memoising through the
+  store.
+* :class:`ExperimentStore` (:mod:`repro.runtime.store`) — append-only JSONL
+  results keyed by canonical spec hash; interrupted campaigns resume, repeated
+  campaigns are near-free.
+* :func:`compare_runs` (:mod:`repro.runtime.compare`) — per-metric regression
+  diff of two stored runs.
+
+The same machinery backs ``python -m repro campaign`` / ``compare`` and
+``Session.sweep(parallel=N)``.
+"""
+
+from repro.runtime.campaign import (
+    REPLICATE_AXIS,
+    CampaignAxis,
+    CampaignPoint,
+    CampaignSpec,
+    coord_label,
+    point_name,
+)
+from repro.runtime.compare import (
+    DEFAULT_METRICS,
+    MetricDelta,
+    MetricSpec,
+    RunComparison,
+    compare_runs,
+)
+from repro.runtime.executor import PointOutcome, run_campaign
+from repro.runtime.store import ExperimentStore
+
+__all__ = [
+    "CampaignAxis",
+    "CampaignPoint",
+    "CampaignSpec",
+    "REPLICATE_AXIS",
+    "coord_label",
+    "point_name",
+    "PointOutcome",
+    "run_campaign",
+    "ExperimentStore",
+    "MetricSpec",
+    "MetricDelta",
+    "RunComparison",
+    "DEFAULT_METRICS",
+    "compare_runs",
+]

@@ -1,0 +1,176 @@
+"""Run a campaign's points — in parallel, memoised through the store.
+
+The executor is the scheduling layer between a :class:`CampaignSpec` and the
+simulation core.  Each point travels as plain data: its spec serialises via
+``ScenarioSpec.to_dict`` into the worker process, runs under a fresh
+:class:`~repro.api.session.Session` there, and comes back as the result's
+``to_dict`` — no simulator state ever crosses a process boundary, which is
+what makes ``parallel=N`` bit-identical to the serial run (every point is a
+pure function of its own spec).
+
+Points whose spec hash already sits in the :class:`ExperimentStore` are
+served from disk without executing anything; fresh results are appended to
+the store the moment they arrive, so an interrupted campaign resumes where it
+stopped.  If the host cannot fork worker processes (restricted sandboxes),
+the executor degrades to the serial path with a warning instead of failing.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.results import ScenarioResult
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec
+from repro.runtime.campaign import CampaignPoint, CampaignSpec
+from repro.runtime.store import ExperimentStore
+
+#: ``progress(outcome, done, total)`` — called once per point: store-served
+#: points first (in point order), then executed points in point order as
+#: their results arrive.
+ProgressCallback = Callable[["PointOutcome", int, int], None]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One campaign point's result, whether freshly executed or store-served.
+
+    ``coords`` carry the raw axis values; ``labels`` the expansion's
+    disambiguated display labels (what point names and stored coordinates
+    use).
+    """
+
+    index: int
+    coords: Tuple[Tuple[str, Any], ...]
+    labels: Tuple[Tuple[str, Any], ...]
+    spec_hash: str
+    scenario: str
+    result: ScenarioResult
+    cached: bool
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """The result as the JSON-able dict that travels and is stored."""
+        return self.result.to_dict()
+
+
+def _execute_point(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: rebuild the spec, run it, return the result dict.
+
+    Top-level (hence picklable) and dict-in/dict-out by design: this exact
+    function body runs for both the serial path and the pool workers.
+    """
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return Session(spec).run().to_dict()
+
+
+def _outcome(
+    point: CampaignPoint, result_dict: Dict[str, Any], *, cached: bool
+) -> PointOutcome:
+    return PointOutcome(
+        index=point.index,
+        coords=point.coords,
+        labels=point.labels(),
+        spec_hash=point.spec_hash(),
+        scenario=point.spec.name,
+        result=ScenarioResult.from_dict(result_dict),
+        cached=cached,
+    )
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    *,
+    parallel: int = 1,
+    store: Optional[ExperimentStore] = None,
+    progress: Optional[ProgressCallback] = None,
+    chunksize: int = 1,
+) -> List[PointOutcome]:
+    """Execute every point of ``campaign``; return outcomes in point order.
+
+    ``parallel`` > 1 runs fresh points on a :class:`ProcessPoolExecutor`
+    (``chunksize`` specs per task); 1 runs them inline.  When ``store`` is
+    given, points already present are served from it and new results are
+    persisted as they complete.
+    """
+    if parallel < 1:
+        raise ValueError(f"parallel must be positive: {parallel}")
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be positive: {chunksize}")
+    points = campaign.points()
+    total = len(points)
+    outcomes: List[Optional[PointOutcome]] = [None] * total
+    done = 0
+
+    def finish(point: CampaignPoint, outcome: PointOutcome) -> None:
+        nonlocal done
+        outcomes[point.index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    pending: List[CampaignPoint] = []
+    for point in points:
+        record = store.get(point.spec_hash()) if store is not None else None
+        if record is not None:
+            finish(point, _outcome(point, record["result"], cached=True))
+        else:
+            pending.append(point)
+
+    def run_serially(remaining: List[CampaignPoint]) -> None:
+        for point in remaining:
+            result_dict = _execute_point(point.spec.to_dict())
+            if store is not None:
+                store.put(
+                    point.spec, result_dict, index=point.index, coords=point.labels()
+                )
+            finish(point, _outcome(point, result_dict, cached=False))
+
+    if pending and parallel > 1 and len(pending) > 1:
+        pool_error: Optional[BaseException] = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(parallel, len(pending)))
+        except (OSError, PermissionError) as error:
+            pool_error = error
+        else:
+            with pool:
+                results = pool.map(
+                    _execute_point,
+                    [point.spec.to_dict() for point in pending],
+                    chunksize=chunksize,
+                )
+                results_iter = iter(results)
+                for point in pending:
+                    # Only the pull from the pool is fallback-eligible; store
+                    # writes and progress callbacks raise as themselves.
+                    try:
+                        result_dict = next(results_iter)
+                    except (BrokenProcessPool, OSError, PermissionError) as error:
+                        pool_error = error
+                        break
+                    if store is not None:
+                        store.put(
+                            point.spec,
+                            result_dict,
+                            index=point.index,
+                            coords=point.labels(),
+                        )
+                    finish(point, _outcome(point, result_dict, cached=False))
+        if pool_error is not None:
+            # Sandboxes that forbid fork land here; everything already
+            # persisted stays persisted, the remainder runs inline.
+            warnings.warn(
+                f"process pool unavailable ({pool_error!r}); "
+                f"falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            run_serially([point for point in pending if outcomes[point.index] is None])
+    elif pending:
+        run_serially(pending)
+
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,128 @@
+"""On-disk experiment store: completed points, keyed by canonical spec hash.
+
+A store is one run directory::
+
+    <root>/
+        campaign.json    # CampaignSpec.to_dict() of the campaign that ran here
+        results.jsonl    # one JSON record per completed point, append-only
+
+Records are keyed by :meth:`ScenarioSpec.spec_hash`, which is a pure function
+of the point's canonical spec JSON — so "this exact experiment already ran"
+is a dictionary lookup.  The executor appends each record the moment the
+point finishes (flushed immediately), which is what makes interrupted
+campaigns resumable: a re-run against the same store serves every completed
+point from disk and only executes the remainder.  A half-written trailing
+line from a killed process is skipped on load rather than poisoning the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.api.spec import ScenarioSpec
+
+CAMPAIGN_FILE = "campaign.json"
+RESULTS_FILE = "results.jsonl"
+
+
+class ExperimentStore:
+    """Append-only JSONL store of completed scenario points under ``root``."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._records: Optional[Dict[str, Dict[str, Any]]] = None
+
+    # ---------------------------------------------------------------- layout
+    @property
+    def results_path(self) -> Path:
+        return self.root / RESULTS_FILE
+
+    @property
+    def campaign_path(self) -> Path:
+        return self.root / CAMPAIGN_FILE
+
+    def exists(self) -> bool:
+        return self.results_path.exists()
+
+    # ---------------------------------------------------------------- loading
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        """All stored records, keyed by spec hash (cached after first load)."""
+        if self._records is None:
+            self._records = {}
+            if self.results_path.exists():
+                with open(self.results_path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except json.JSONDecodeError:
+                            # A crash mid-append leaves at most one truncated
+                            # trailing line; treat that point as not-yet-run.
+                            continue
+                        key = record.get("spec_hash")
+                        if isinstance(key, str):
+                            self._records[key] = record
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return spec_hash in self.records()
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.records().values())
+
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        return self.records().get(spec_hash)
+
+    def get_spec(self, spec: ScenarioSpec) -> Optional[Dict[str, Any]]:
+        return self.get(spec.spec_hash())
+
+    # ---------------------------------------------------------------- writing
+    def put(
+        self,
+        spec: ScenarioSpec,
+        result: Mapping[str, Any],
+        *,
+        index: Optional[int] = None,
+        coords: Any = None,
+    ) -> Dict[str, Any]:
+        """Append one completed point and return the stored record.
+
+        The record is durable the moment this returns (written, flushed and
+        fsynced), so a campaign killed between points loses nothing.
+        """
+        record: Dict[str, Any] = {
+            "spec_hash": spec.spec_hash(),
+            "scenario": spec.name,
+            "index": index,
+            "coords": [list(pair) for pair in coords] if coords is not None else None,
+            "spec": spec.to_dict(),
+            "result": dict(result),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.records()[record["spec_hash"]] = record
+        return record
+
+    # ------------------------------------------------------------- metadata
+    def write_campaign(self, campaign_dict: Mapping[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.campaign_path, "w", encoding="utf-8") as handle:
+            json.dump(dict(campaign_dict), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def read_campaign(self) -> Optional[Dict[str, Any]]:
+        if not self.campaign_path.exists():
+            return None
+        with open(self.campaign_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)

@@ -1,0 +1,147 @@
+"""``python -m repro campaign`` / ``compare``: the CLI over the runtime layer."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main as cli_main
+
+BASE_ARGS = ["--rows", "256", "--queries", "12", "--warmup", "0", "--users", "40"]
+
+
+def run_json(capsys, argv, expect=0):
+    assert cli_main(argv) == expect
+    return json.loads(capsys.readouterr().out)
+
+
+class TestCampaignCLI:
+    def test_two_axis_campaign_runs_every_point(self, capsys, tmp_path):
+        payload = run_json(
+            capsys,
+            ["campaign", *BASE_ARGS,
+             "--grid", "backend.name=dram,sdm",
+             "--grid", "serving.concurrency=1,2",
+             "--out", str(tmp_path / "run"), "--quiet", "--json"],
+        )
+        assert len(payload) == 4
+        assert [point["cached"] for point in payload] == [False] * 4
+        assert {tuple(dict(point["coords"]).values()) for point in payload} == {
+            ("dram", 1), ("dram", 2), ("sdm", 1), ("sdm", 2),
+        }
+        assert all(point["result"]["achieved_qps"] > 0 for point in payload)
+
+    def test_resume_serves_every_point_from_the_store(self, capsys, tmp_path):
+        argv = ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1,2",
+                "--out", str(tmp_path / "run"), "--quiet", "--json"]
+        first = run_json(capsys, argv)
+        second = run_json(capsys, argv[:-2] + ["--resume", "--json"])
+        assert [point["cached"] for point in first] == [False, False]
+        assert [point["cached"] for point in second] == [True, True]
+        assert [p["result"] for p in first] == [p["result"] for p in second]
+
+    def test_existing_store_without_resume_is_refused(self, capsys, tmp_path):
+        argv = ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1",
+                "--out", str(tmp_path / "run"), "--quiet", "--json"]
+        run_json(capsys, argv)
+        assert cli_main(argv) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_without_out_is_an_error(self, capsys):
+        assert cli_main(["campaign", *BASE_ARGS,
+                         "--grid", "serving.concurrency=1", "--resume"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_malformed_grid_is_a_user_error(self, capsys):
+        assert cli_main(["campaign", *BASE_ARGS, "--grid", "serving.concurrency"]) == 2
+        assert "param=v1,v2" in capsys.readouterr().err
+
+    def test_offered_qps_axis_implies_open_loop(self, capsys):
+        payload = run_json(
+            capsys,
+            ["campaign", *BASE_ARGS, "--grid", "traffic.offered_qps=100,400",
+             "--quiet", "--json"],
+        )
+        assert [point["result"]["traffic_mode"] for point in payload] == ["open", "open"]
+        qps = [point["result"]["achieved_qps"] for point in payload]
+        assert qps[0] != qps[1]
+
+    def test_campaign_table_output(self, capsys):
+        assert cli_main(
+            ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1,2",
+             "--metric", "achieved_qps", "--metric", "num_queries", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving.concurrency" in out
+        assert "achieved_qps" in out and "num_queries" in out
+
+    def test_unknown_table_metric_is_a_user_error(self, capsys):
+        assert cli_main(
+            ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1",
+             "--metric", "achieved_qpz", "--quiet"]
+        ) == 2
+        assert "valid ScenarioResult metrics" in capsys.readouterr().err
+
+    def test_progress_lands_on_stderr(self, capsys, tmp_path):
+        assert cli_main(
+            ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1,2",
+             "--out", str(tmp_path / "run")]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err and "(ran)" in err
+
+    def test_parallel_flag_produces_identical_results(self, capsys):
+        argv = ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1,2",
+                "--quiet", "--json"]
+        serial = run_json(capsys, argv)
+        parallel = run_json(capsys, argv + ["--parallel", "2"])
+        assert [p["result"] for p in serial] == [p["result"] for p in parallel]
+
+
+class TestCompareCLI:
+    def _populate(self, capsys, out_dir):
+        run_json(
+            capsys,
+            ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1,2",
+             "--out", str(out_dir), "--quiet", "--json"],
+        )
+
+    def test_self_compare_has_zero_regressions_and_exit_zero(self, capsys, tmp_path):
+        self._populate(capsys, tmp_path / "run")
+        payload = run_json(
+            capsys,
+            ["compare", str(tmp_path / "run"), str(tmp_path / "run"), "--json"],
+        )
+        assert payload["num_regressions"] == 0
+        assert payload["compared_points"] == 2
+
+    def test_regression_fails_the_exit_code(self, capsys, tmp_path):
+        self._populate(capsys, tmp_path / "base")
+        # Forge a degraded candidate from the baseline's own records.
+        base_lines = (tmp_path / "base" / "results.jsonl").read_text().splitlines()
+        (tmp_path / "cand").mkdir()
+        with open(tmp_path / "cand" / "results.jsonl", "w") as handle:
+            for line in base_lines:
+                record = json.loads(line)
+                record["result"]["achieved_qps"] *= 0.5
+                handle.write(json.dumps(record) + "\n")
+        assert cli_main(
+            ["compare", str(tmp_path / "base"), str(tmp_path / "cand")]
+        ) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_run_directory_is_a_user_error(self, capsys, tmp_path):
+        assert cli_main(
+            ["compare", str(tmp_path / "none"), str(tmp_path / "none")]
+        ) == 2
+        assert "results.jsonl" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("metric", ["latency_seconds.p99", "achieved_qps:higher"])
+    def test_custom_metrics(self, capsys, tmp_path, metric):
+        self._populate(capsys, tmp_path / "run")
+        payload = run_json(
+            capsys,
+            ["compare", str(tmp_path / "run"), str(tmp_path / "run"),
+             "--metric", metric, "--json"],
+        )
+        path = metric.split(":")[0]
+        assert {delta["metric"] for delta in payload["deltas"]} == {path}

@@ -1,0 +1,141 @@
+"""Executor determinism (serial == parallel) and store-backed resume."""
+
+import pytest
+
+from repro import CampaignSpec, ExperimentStore, ScenarioSpec, Session, run_campaign
+from repro.api import ModelChoice, ServingChoice, WorkloadChoice
+from repro.runtime import executor as executor_module
+
+
+def small_base() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="exec",
+        model=ModelChoice(max_tables_per_group=2, max_rows_per_table=256),
+        workload=WorkloadChoice(num_queries=12, num_users=40),
+        serving=ServingChoice(concurrency=1, warmup_queries=0),
+    )
+
+
+def two_axis_campaign() -> CampaignSpec:
+    return CampaignSpec.from_grid(
+        small_base(),
+        {"serving.concurrency": [1, 2], "workload.num_users": [40, 60]},
+        name="exec",
+    )
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_point_for_point(self):
+        """Acceptance: parallel=4 metrics are identical to the serial run."""
+        campaign = two_axis_campaign()
+        serial = run_campaign(campaign, parallel=1)
+        parallel = run_campaign(campaign, parallel=4)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert s.index == p.index
+            assert s.coords == p.coords
+            assert s.spec_hash == p.spec_hash
+            assert s.metrics == p.metrics  # full result dict, bit-for-bit
+
+    def test_chunked_parallel_matches_too(self):
+        campaign = two_axis_campaign()
+        serial = run_campaign(campaign, parallel=1)
+        chunked = run_campaign(campaign, parallel=2, chunksize=2)
+        assert [o.metrics for o in serial] == [o.metrics for o in chunked]
+
+    def test_sweep_parallel_matches_serial_metrics(self):
+        spec = small_base()
+        serial = Session(spec).sweep("serving.concurrency", [1, 2])
+        parallel = Session(spec).sweep("serving.concurrency", [1, 2], parallel=2)
+        assert [point.value for point in parallel] == [1, 2]
+        for s, p in zip(serial, parallel):
+            # The parallel path does not retain the raw host result; every
+            # serialised measurement — including the scenario name — agrees.
+            assert p.result.host_result is None
+            assert p.result.to_dict() == s.result.to_dict()
+
+    def test_sweep_parallel_rejects_custom_compute(self):
+        from repro import ComputeSpec
+
+        session = Session(small_base(), compute=ComputeSpec(flops_per_second=1e9))
+        with pytest.raises(ValueError, match="ComputeSpec"):
+            session.sweep("serving.concurrency", [1, 2], parallel=2)
+
+
+class TestStoreResume:
+    def test_completed_points_are_served_from_the_store(self, tmp_path, monkeypatch):
+        """Acceptance: re-running against the store executes zero new points."""
+        campaign = two_axis_campaign()
+        store = ExperimentStore(tmp_path / "run")
+        first = run_campaign(campaign, store=store)
+        assert all(not outcome.cached for outcome in first)
+        assert len(store) == 4
+
+        # Any attempt to actually execute a point now is a test failure.
+        def boom(spec_dict):
+            raise AssertionError(f"point re-executed: {spec_dict['name']}")
+
+        monkeypatch.setattr(executor_module, "_execute_point", boom)
+        second = run_campaign(campaign, store=ExperimentStore(tmp_path / "run"))
+        assert all(outcome.cached for outcome in second)
+        assert [o.metrics for o in second] == [o.metrics for o in first]
+
+    def test_partially_populated_store_runs_only_the_remainder(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        # Pre-populate with a smaller campaign: same name, a prefix of the grid.
+        prefix = CampaignSpec.from_grid(
+            small_base(),
+            {"serving.concurrency": [1], "workload.num_users": [40, 60]},
+            name="exec",
+        )
+        run_campaign(prefix, store=store)
+        assert len(store) == 2
+
+        events = []
+        outcomes = run_campaign(
+            two_axis_campaign(),
+            store=store,
+            progress=lambda outcome, done, total: events.append(
+                (outcome.cached, done, total)
+            ),
+        )
+        assert [outcome.cached for outcome in outcomes] == [True, True, False, False]
+        assert len(store) == 4
+        assert [done for _, done, _ in events] == [1, 2, 3, 4]
+        assert all(total == 4 for _, _, total in events)
+
+    def test_store_records_are_self_describing(self, tmp_path):
+        campaign = CampaignSpec.from_grid(
+            small_base(), {"serving.concurrency": [2]}, name="exec"
+        )
+        store = ExperimentStore(tmp_path / "run")
+        (outcome,) = run_campaign(campaign, store=store)
+        record = store.get(outcome.spec_hash)
+        assert record["scenario"] == "exec[serving.concurrency=2]"
+        assert record["coords"] == [["serving.concurrency", 2]]
+        assert record["spec"]["serving"]["concurrency"] == 2
+        assert record["result"] == outcome.metrics
+
+    def test_invalid_arguments(self):
+        campaign = CampaignSpec.from_grid(small_base(), {"serving.concurrency": [1]})
+        with pytest.raises(ValueError, match="parallel"):
+            run_campaign(campaign, parallel=0)
+        with pytest.raises(ValueError, match="chunksize"):
+            run_campaign(campaign, chunksize=0)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch, tmp_path):
+        campaign = two_axis_campaign()
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no fork for you")
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", BrokenPool)
+        store = ExperimentStore(tmp_path / "run")
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            outcomes = run_campaign(campaign, parallel=4, store=store)
+        assert len(outcomes) == 4
+        assert len(store) == 4
+        assert [o.metrics for o in outcomes] == [
+            o.metrics for o in run_campaign(campaign, parallel=1)
+        ]

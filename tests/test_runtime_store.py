@@ -1,0 +1,90 @@
+"""ExperimentStore: durable JSONL records keyed by canonical spec hash."""
+
+import json
+
+from repro import ExperimentStore, ScenarioSpec
+
+
+def result_dict(**overrides):
+    base = {
+        "scenario": "s",
+        "backend": "dram",
+        "num_queries": 10,
+        "concurrency": 1,
+        "makespan_seconds": 0.5,
+        "achieved_qps": 20.0,
+        "latency_seconds": {"mean": 0.01, "p50": 0.01, "p95": 0.02, "p99": 0.03},
+        "meets_slo": True,
+        "slo_headroom": 0.5,
+        "backend_stats": {},
+        "power": None,
+        "traffic_mode": "closed",
+        "offered_qps": None,
+        "dropped_queries": 0,
+        "queueing_seconds": None,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestExperimentStore:
+    def test_put_then_get_round_trips(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="point-a")
+        record = store.put(spec, result_dict(), index=3, coords=[("p", 1)])
+        assert store.get(spec.spec_hash()) == record
+        assert store.get_spec(spec) == record
+        assert record["index"] == 3
+        assert record["coords"] == [["p", 1]]
+        assert spec.spec_hash() in store
+        assert len(store) == 1
+
+    def test_records_survive_a_fresh_handle(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="durable")
+        store.put(spec, result_dict())
+        reopened = ExperimentStore(tmp_path / "run")
+        assert reopened.get(spec.spec_hash())["result"]["achieved_qps"] == 20.0
+
+    def test_last_record_wins_for_duplicate_hashes(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="dup")
+        store.put(spec, result_dict(achieved_qps=1.0))
+        store.put(spec, result_dict(achieved_qps=2.0))
+        reopened = ExperimentStore(tmp_path / "run")
+        assert reopened.get(spec.spec_hash())["result"]["achieved_qps"] == 2.0
+        assert len(reopened) == 1
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        """A crash mid-append must not poison the completed records."""
+        store = ExperimentStore(tmp_path / "run")
+        good = ScenarioSpec(name="good")
+        store.put(good, result_dict())
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write('{"spec_hash": "deadbeef", "result": {"achie')  # no newline
+        reopened = ExperimentStore(tmp_path / "run")
+        assert len(reopened) == 1
+        assert reopened.get(good.spec_hash()) is not None
+        assert reopened.get("deadbeef") is None
+
+    def test_blank_lines_and_missing_hash_tolerated(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="ok")
+        store.put(spec, result_dict())
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+            handle.write(json.dumps({"no_hash": True}) + "\n")
+        assert len(ExperimentStore(tmp_path / "run")) == 1
+
+    def test_missing_directory_reads_as_empty(self, tmp_path):
+        store = ExperimentStore(tmp_path / "nowhere")
+        assert not store.exists()
+        assert len(store) == 0
+        assert store.get("anything") is None
+
+    def test_campaign_metadata_round_trip(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        assert store.read_campaign() is None
+        meta = {"name": "c", "axes": [{"param": "x", "values": [1, 2]}]}
+        store.write_campaign(meta)
+        assert store.read_campaign() == meta
