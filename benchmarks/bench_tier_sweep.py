@@ -1,0 +1,129 @@
+"""Tier-geometry sweep: the cost/latency frontier of 2- vs 3-tier stacks.
+
+Not a paper table — this benchmarks the N-tier hierarchy layer
+(:mod:`repro.hierarchy`).  One scenario is served through a set of 2- and
+3-tier geometries; for each we record p99 latency, achieved QPS, a
+DRAM-GB-equivalent memory cost (Table 1 relative $/GB column) and the
+per-tier serving split.  Run standalone to write the sweep as JSON::
+
+    python benchmarks/bench_tier_sweep.py --out runs/tier_sweep.json
+
+which is what the ``tier-smoke`` CI job uploads as the bench trajectory
+artifact.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ScenarioSpec, Session, format_table  # noqa: E402
+from repro.hierarchy import memory_cost_dram_gb, pareto_frontier  # noqa: E402
+
+from _util import emit, run_once  # noqa: E402
+
+GEOMETRIES = {
+    "2-tier-nand": "dram:0,nand:1GiB",
+    "2-tier-optane": "dram:0,optane:1GiB",
+    "2-tier-cxl": "dram:0,cxl:1GiB",
+    "3-tier-small-cxl": "dram:64KiB,cxl:128KiB,nand:1GiB",
+    "3-tier-big-cxl": "dram:64KiB,cxl:512KiB:64KiB,nand:1GiB",
+}
+
+
+def run_sweep() -> list:
+    records = []
+    for label, tiers in GEOMETRIES.items():
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": label,
+                "model": {"max_rows_per_table": 512},
+                "backend": {
+                    "name": "tiered",
+                    "options": {
+                        "tiers": tiers,
+                        "row_cache_capacity_bytes": 64 * 1024,
+                    },
+                },
+                "workload": {"num_queries": 150},
+                "serving": {"warmup_queries": 30},
+            }
+        )
+        result = Session(spec).run()
+        records.append(
+            {
+                "geometry": label,
+                "tiers": tiers,
+                "num_tiers": len(result.tiers),
+                "p99_ms": result.percentile_ms("p99"),
+                "achieved_qps": result.achieved_qps,
+                "memory_cost_dram_gb": memory_cost_dram_gb(result.tiers),
+                "rows_served_per_tier": [t["rows_served"] for t in result.tiers],
+                "cache_hit_rate_per_tier": [t["cache_hit_rate"] for t in result.tiers],
+                "per_tier": result.tiers,
+            }
+        )
+    return records
+
+
+def _frontier_labels(records) -> set:
+    return {
+        record["geometry"]
+        for record in pareto_frontier(
+            records,
+            cost=lambda r: r["memory_cost_dram_gb"],
+            latency=lambda r: r["p99_ms"],
+        )
+    }
+
+
+def _table(records) -> str:
+    frontier = _frontier_labels(records)
+    rows = [
+        [
+            record["geometry"],
+            round(record["memory_cost_dram_gb"] * 1e3, 3),
+            round(record["p99_ms"], 3),
+            round(record["achieved_qps"], 1),
+            "/".join(str(n) for n in record["rows_served_per_tier"]),
+            "*" if record["geometry"] in frontier else "",
+        ]
+        for record in records
+    ]
+    return format_table(
+        ["geometry", "cost (DRAM-GB x1e-3)", "p99 (ms)", "QPS",
+         "rows/tier", "frontier"],
+        rows,
+        title="tier sweep: 2- vs 3-tier cost/latency",
+    )
+
+
+def bench_tier_sweep(benchmark):
+    records = run_once(benchmark, run_sweep)
+    assert any(record["num_tiers"] == 3 for record in records)
+    emit("tier geometry sweep (repro.hierarchy)", _table(records))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="FILE", help="write the sweep records as JSON")
+    args = parser.parse_args()
+    records = run_sweep()
+    print(_table(records))
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "benchmark": "bench_tier_sweep",
+            "frontier": sorted(_frontier_labels(records)),
+            "records": records,
+        }
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@ through Software Defined Memory" (ICDCS 2022).  The package is organised as:
   CPU-optimised organisations).
 * :mod:`repro.dlrm` -- the DLRM substrate: quantised embedding tables,
   pruning, MLPs, model configs (Table 6) and the inference engine.
+* :mod:`repro.hierarchy` -- the N-tier memory hierarchy: pluggable
+  :class:`TierSpec`/:class:`MemoryTier` tiers, tiered placement (table- or
+  row-range granularity) and the tier chain serving path.
 * :mod:`repro.core` -- the SDM stack itself: placement, bandwidth analysis,
   pooled embedding cache, de-pruning/de-quantisation, warmup, model update,
   auto-tuning and the :class:`~repro.core.sdm.SoftwareDefinedMemory` backend.
@@ -77,6 +80,13 @@ from repro.dlrm import (
     QueryResult,
     build_scaled_model,
 )
+from repro.hierarchy import (
+    TierChain,
+    TieredPlacement,
+    TierSpec,
+    compute_tiered_placement,
+    parse_tiers,
+)
 from repro.serving import LatencyTarget, PowerModel, ServingEngine, ServingSimulator
 from repro.workload import QueryGenerator, WorkloadConfig
 
@@ -109,6 +119,12 @@ __all__ = [
     "create_backend",
     "available_backends",
     "UnknownBackendError",
+    # repro.hierarchy -- the N-tier memory hierarchy
+    "TierSpec",
+    "TierChain",
+    "TieredPlacement",
+    "compute_tiered_placement",
+    "parse_tiers",
     # hand-wired layer highlights
     "SDMConfig",
     "SoftwareDefinedMemory",

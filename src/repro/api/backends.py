@@ -1,6 +1,6 @@
 """Built-in embedding backends registered with the API registry.
 
-Three backends ship with the package:
+Four backends ship with the package:
 
 * ``dram`` — the DRAM-only reference (:class:`~repro.dlrm.inference.InMemoryBackend`);
   every table lives in fast memory.  No options.
@@ -12,6 +12,13 @@ Three backends ship with the package:
 * ``pooled`` — SDM tuned for the pooled-embedding-cache path of section 4.4:
   the pooled cache takes the FM budget and every request is eligible
   (``pooled_len_threshold=0``); useful for isolating Algorithm 1's effect.
+* ``tiered`` — SDM across an explicit N-tier memory hierarchy
+  (:mod:`repro.hierarchy`).  The ``tiers`` option is an ordered list
+  (fastest first) of ``{technology, capacity, cache}`` entries or a
+  ``"dram:64KiB,cxl:1MiB,nand:1GiB"`` string; per-tier hit rates and bytes
+  served land in the :class:`~repro.api.results.ScenarioResult`.  The plain
+  ``sdm`` backend also accepts ``tiers`` — ``tiered`` only differs in
+  requiring a hierarchy (supplying a laptop-scale 3-tier default).
 """
 
 from __future__ import annotations
@@ -101,4 +108,20 @@ def _build_pooled(model: DLRMModel, compute: ComputeSpec, **options) -> Embeddin
     )
     if not config.pooled_cache_enabled:
         raise ValueError("the 'pooled' backend requires pooled_cache_enabled=True")
+    return SoftwareDefinedMemory(model, config, compute=compute)
+
+
+#: Laptop-scale default hierarchy for the ``tiered`` backend: a small DRAM
+#: budget, a CXL middle tier sized for a few hot tables, NAND for the rest.
+DEFAULT_TIERS = "dram:64KiB,cxl:1MiB:64KiB,nand:1GiB"
+
+
+@register_backend("tiered", description="SDM across an N-tier memory hierarchy (repro.hierarchy)")
+def _build_tiered(model: DLRMModel, compute: ComputeSpec, **options) -> EmbeddingBackend:
+    config = sdm_config_from_options(options, tiers=DEFAULT_TIERS)
+    if config.tiers is None:
+        raise ValueError(
+            "the 'tiered' backend needs a non-empty 'tiers' option, e.g. "
+            f"tiers={DEFAULT_TIERS!r}"
+        )
     return SoftwareDefinedMemory(model, config, compute=compute)

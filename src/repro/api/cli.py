@@ -6,7 +6,11 @@ Subcommands::
     python -m repro run --backend dram --queries 100 --json
     python -m repro run --spec scenario.json --option num_devices=4
     python -m repro run --arrival poisson --offered-qps 120   # open loop
+    python -m repro run --tiers dram:64KiB,cxl:1MiB,nand:1GiB # 3-tier hierarchy
     python -m repro sweep --param serving.concurrency --values 1,2,4
+    python -m repro sweep --param tiers.1.capacity --values 256KiB,1MiB,4MiB \\
+        --tiers dram:64KiB,cxl:1MiB,nand:1GiB
+    python -m repro list-devices
     python -m repro sweep --param traffic.offered_qps --values 40,80,160
     python -m repro campaign --grid backend.name=dram,sdm \\
         --grid serving.concurrency=1,2 --parallel 4 --out runs/demo
@@ -31,6 +35,9 @@ from repro.api.registry import available_backends
 from repro.api.results import campaign_table, scenario_metrics, sweep_table
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec
+from repro.hierarchy import TECHNOLOGY_ALIASES, parse_tiers
+from repro.sim.units import MICROSECOND, format_bytes
+from repro.storage.spec import TABLE1_SPECS
 from repro.runtime import (
     CampaignSpec,
     ExperimentStore,
@@ -76,6 +83,15 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         default=[],
         metavar="KEY=VALUE",
         help="backend option (repeatable), e.g. --option num_devices=4",
+    )
+    parser.add_argument(
+        "--tiers",
+        metavar="SPEC",
+        help=(
+            "memory hierarchy, fastest first: tech:capacity[:cache] entries "
+            "joined by commas, e.g. dram:64KiB,cxl:1MiB,nand:1GiB "
+            "(see list-devices for technologies)"
+        ),
     )
     parser.add_argument("--queries", type=int, help="number of queries to serve")
     parser.add_argument("--users", type=int, help="user population size")
@@ -158,6 +174,14 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
         # silently running closed-loop would ignore it.  `--arrival closed`
         # opts out explicitly.
         spec = spec.replace("traffic.mode", "open")
+    if args.tiers is not None:
+        # Normalise to a list of mappings so grid axes like tiers.1.capacity
+        # can address individual entries, and default the backend to the
+        # hierarchy-aware one unless the user picked something explicitly.
+        tier_dicts = [tier.to_dict() for tier in parse_tiers(args.tiers)]
+        spec = spec.replace("backend.options.tiers", tier_dicts)
+        if args.backend is None and spec.backend.name == "sdm":
+            spec = spec.replace("backend.name", "tiered")
     for key, value in _parse_options(args.option).items():
         spec = spec.replace(f"backend.options.{key}", value)
     return spec
@@ -319,6 +343,68 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if comparison.regressions else 0
 
 
+def _cmd_list_devices(args: argparse.Namespace) -> int:
+    """Print the Table 1 device spectrum so tier technologies are
+    discoverable without reading source."""
+    aliases: Dict[str, List[str]] = {}
+    for alias, technology in TECHNOLOGY_ALIASES.items():
+        aliases.setdefault(technology.value, []).append(alias)
+    entries = []
+    for technology, spec in TABLE1_SPECS.items():
+        entries.append(
+            {
+                "technology": technology.value,
+                "aliases": sorted(aliases.get(technology.value, [])),
+                "name": spec.name,
+                "default_capacity_bytes": spec.capacity_bytes,
+                "read_latency_us": spec.base_read_latency / MICROSECOND,
+                "max_read_iops": spec.max_read_iops,
+                "access_granularity_bytes": spec.access_granularity_bytes,
+                "read_bandwidth_gbps": spec.read_bus_bandwidth / 1e9,
+                "endurance_dwpd": spec.endurance_dwpd,
+                "cost_per_gb_vs_dram": spec.relative_cost_per_gb,
+                "sourcing": spec.sourcing,
+            }
+        )
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    rows = [
+        [
+            entry["technology"],
+            ",".join(entry["aliases"]),
+            format_bytes(entry["default_capacity_bytes"]),
+            round(entry["read_latency_us"], 2),
+            f"{entry['max_read_iops'] / 1e6:g}M",
+            entry["access_granularity_bytes"],
+            round(entry["read_bandwidth_gbps"], 1),
+            entry["endurance_dwpd"],
+            f"1/{round(1 / entry['cost_per_gb_vs_dram'])}",
+            entry["sourcing"],
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            [
+                "technology",
+                "aliases",
+                "capacity",
+                "latency (us)",
+                "IOPS",
+                "granularity (B)",
+                "read BW (GB/s)",
+                "DWPD",
+                "$/GB vs DRAM",
+                "sourcing",
+            ],
+            rows,
+            title="Table 1 device spectrum (--tiers technologies; plus 'dram' for tier 0)",
+        )
+    )
+    return 0
+
+
 def _cmd_list_backends(args: argparse.Namespace) -> int:
     backends = available_backends()
     if args.json:
@@ -417,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list-backends", help="show registered backends")
     list_parser.add_argument("--json", action="store_true", help="emit JSON")
     list_parser.set_defaults(handler=_cmd_list_backends)
+
+    devices_parser = subparsers.add_parser(
+        "list-devices", help="show the Table 1 device spectrum for --tiers"
+    )
+    devices_parser.add_argument("--json", action="store_true", help="emit JSON")
+    devices_parser.set_defaults(handler=_cmd_list_devices)
 
     return parser
 

@@ -64,6 +64,7 @@ class ScenarioResult:
     offered_qps: Optional[float] = None  # open loop only (measured from arrivals)
     dropped_queries: int = 0
     queueing: Optional[Dict[str, float]] = None  # queue-delay mean/p50/p95/p99
+    tiers: Optional[List[Dict[str, Any]]] = None  # per-tier hit rates / bytes served
 
     def percentile_ms(self, key: str) -> float:
         return self.latency[key] * 1e3
@@ -96,6 +97,7 @@ class ScenarioResult:
             offered_qps=data.get("offered_qps"),
             dropped_queries=data.get("dropped_queries", 0),
             queueing=dict(queueing) if queueing is not None else None,
+            tiers=[dict(tier) for tier in data["tiers"]] if data.get("tiers") else None,
         )
 
     # ------------------------------------------------------------- reporting
@@ -117,6 +119,9 @@ class ScenarioResult:
             "offered_qps": self.offered_qps,
             "dropped_queries": self.dropped_queries,
             "queueing_seconds": dict(self.queueing) if self.queueing is not None else None,
+            "tiers": (
+                [dict(tier) for tier in self.tiers] if self.tiers is not None else None
+            ),
         }
 
     def summary_rows(self) -> List[List[Any]]:
@@ -139,6 +144,15 @@ class ScenarioResult:
                 rows.append(["p99 queue delay (ms)", round(self.queueing["p99"] * 1e3, 3)])
         for key, value in self.backend_stats.items():
             rows.append([key, round(value, 3) if isinstance(value, float) else value])
+        if self.tiers:
+            for tier in self.tiers:
+                label = f"tier{tier['tier']} ({tier['technology']})"
+                rows.append([f"{label} rows served", tier["rows_served"]])
+                rows.append([f"{label} bytes served", tier["bytes_served"]])
+                if tier.get("cache_hit_rate") is not None:
+                    rows.append(
+                        [f"{label} cache hit rate", round(tier["cache_hit_rate"], 3)]
+                    )
         if self.power is not None:
             rows.append([f"hosts ({self.power.platform})", self.power.num_hosts])
             rows.append(["fleet power", round(self.power.fleet_power, 1)])

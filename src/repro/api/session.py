@@ -238,6 +238,11 @@ class Session:
             "SM footprint bytes": float(backend.sm_footprint_bytes()),
         }
 
+    def _tier_summaries(self):
+        """Per-tier serving stats, for backends that expose a hierarchy."""
+        summaries = getattr(self.backend, "tier_summaries", None)
+        return summaries() if callable(summaries) else None
+
     @staticmethod
     def _platform(name: str):
         if name not in ALL_PLATFORMS:
@@ -365,4 +370,5 @@ class Session:
             offered_qps=offered_qps,
             dropped_queries=dropped,
             queueing=queueing,
+            tiers=self._tier_summaries(),
         )

@@ -15,7 +15,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.dlrm.model_config import ALL_MODEL_SPECS, ModelSpec, figure1_model_spec
 from repro.serving.latency import LatencyTarget
@@ -210,6 +210,47 @@ def coord_label(value: Any) -> Any:
     return str(value)
 
 
+def _nested_replace(container: Any, parts: Sequence[str], value: Any, path: str) -> Any:
+    """Set a nested position inside a list/mapping option, copying each level.
+
+    Lists index by integer part (``tiers.1``), mappings by key
+    (``tiers.1.capacity``).  The containers along the path are shallow-copied
+    so specs stay value-semantic.
+    """
+    part = parts[0]
+    if isinstance(container, (list, tuple)):
+        try:
+            index = int(part)
+        except ValueError:
+            raise ValueError(
+                f"path {path!r}: expected a list index at {part!r}"
+            ) from None
+        if not 0 <= index < len(container):
+            raise ValueError(
+                f"path {path!r}: index {index} out of range for a list of "
+                f"{len(container)} entries"
+            )
+        items = list(container)
+        items[index] = (
+            value
+            if len(parts) == 1
+            else _nested_replace(items[index], parts[1:], value, path)
+        )
+        return items
+    if isinstance(container, Mapping):
+        data = dict(container)
+        if len(parts) == 1:
+            data[part] = value
+            return data
+        if part not in data:
+            raise ValueError(f"path {path!r}: no key {part!r} in {sorted(data)}")
+        data[part] = _nested_replace(data[part], parts[1:], value, path)
+        return data
+    raise ValueError(
+        f"path {path!r}: cannot descend into {type(container).__name__} at {part!r}"
+    )
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One fully-described experiment: model + backend + workload + traffic + serving."""
@@ -286,17 +327,22 @@ class ScenarioSpec:
 
         ``path`` addresses a spec field (``"name"``), a whole section
         (``"backend"`` — ``value`` is a section instance or a mapping of its
-        fields), a section field (``"serving.concurrency"``) or a backend
-        option (``"backend.options.num_devices"``) — the addressing scheme
-        :meth:`Session.sweep` and campaign grids use.
+        fields), a section field (``"serving.concurrency"``), a backend
+        option (``"backend.options.num_devices"``) or a position inside a
+        structured option (``"backend.options.tiers.1.capacity"``) — the
+        addressing scheme :meth:`Session.sweep` and campaign grids use.
+        ``"tiers...."`` paths are shorthand for ``"backend.options.tiers...."``
+        so tier geometries sweep like any other knob.
         """
         parts = path.split(".")
+        if parts[0] == "tiers":
+            parts = ["backend", "options"] + parts
         if parts[0] == "name" and len(parts) == 1:
             return dataclasses.replace(self, name=value)
         if parts[0] not in _SECTION_TYPES:
             raise ValueError(
                 f"unknown spec path {path!r}; top-level keys: "
-                f"{['name'] + sorted(_SECTION_TYPES)}"
+                f"{['name', 'tiers'] + sorted(_SECTION_TYPES)}"
             )
         if len(parts) == 1:
             section_type = _SECTION_TYPES[parts[0]]
@@ -309,9 +355,25 @@ class ScenarioSpec:
                 )
             return dataclasses.replace(self, **{parts[0]: value})
         section = getattr(self, parts[0])
-        if parts[0] == "backend" and len(parts) == 3 and parts[1] == "options":
+        if parts[0] == "backend" and len(parts) >= 3 and parts[1] == "options":
             options = dict(section.options)
-            options[parts[2]] = value
+            if len(parts) == 3:
+                options[parts[2]] = value
+            else:
+                if parts[2] not in options:
+                    raise ValueError(
+                        f"cannot address {path!r}: backend option {parts[2]!r} is "
+                        f"not set on the spec"
+                    )
+                target = options[parts[2]]
+                if parts[2] == "tiers" and isinstance(target, str):
+                    # Compact "dram:4GiB,nand:1TiB" strings are a valid tiers
+                    # form; normalise to a list of mappings so positional
+                    # paths (tiers.1.capacity) can descend into them.
+                    from repro.hierarchy.tier import parse_tiers
+
+                    target = [tier.to_dict() for tier in parse_tiers(target)]
+                options[parts[2]] = _nested_replace(target, parts[3:], value, path)
             return dataclasses.replace(self, backend=dataclasses.replace(section, options=options))
         if len(parts) != 2:
             raise ValueError(f"spec path must be 'section.field': {path!r}")

@@ -14,9 +14,10 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.core.placement import PlacementPolicy
+from repro.hierarchy.tier import PROMOTION_POLICIES, TierSpec, parse_tiers
 from repro.sim.units import MIB
 from repro.storage.io_engine import IOEngineConfig
-from repro.storage.spec import Technology
+from repro.storage.spec import TABLE1_SPECS, Technology
 
 
 class AccessPathKind(str, enum.Enum):
@@ -57,6 +58,30 @@ class SDMConfig:
         Overlap the IO of different embedding operators (appendix A.2).
     deprune_at_load / dequantize_at_load:
         SM-vs-FM capacity trade-offs (section 4.5 and appendix A.5).
+    tiers:
+        Optional N-tier memory hierarchy (fastest first), e.g.
+        ``"dram:64KiB,cxl:4MiB,nand:1GiB"`` or a list of
+        :class:`~repro.hierarchy.tier.TierSpec`/mapping entries.  ``None``
+        (the default) keeps the classic two-tier FM/SM stack built from
+        ``device_technology``/``num_devices``/``dram_budget_bytes`` — a
+        bit-identical special case of the tier chain.  When set, those
+        legacy device fields are ignored, and placement is
+        **capacity-driven**: the N-tier generalisation of FIXED_FM_SM,
+        greedily homing the highest-bandwidth-density tables on the fastest
+        tier with room.  ``placement_policy`` then only contributes the
+        PER_TABLE_CACHE cache-disable threshold; for SM-only semantics give
+        tier 0 a zero capacity (``"dram:0,..."``).
+    promotion:
+        Which upper-tier row caches a row read from a slower tier is
+        promoted into: ``"all"`` (every cache above the home tier — the
+        default, so configured device-tier caches actually fill; identical
+        to ``"top"`` whenever only tier 0 has a cache, which includes every
+        legacy two-tier config), ``"top"`` (the fastest cache only), or
+        ``"none"``.
+    split_rows:
+        With ``tiers``: allow a table that straddles a tier budget boundary
+        to be row-split across tiers instead of homed whole on the first
+        tier with room.
     """
 
     device_technology: Technology = Technology.NAND_FLASH
@@ -84,9 +109,32 @@ class SDMConfig:
     deprune_at_load: bool = False
     dequantize_at_load: bool = False
 
+    tiers: Optional[Tuple[TierSpec, ...]] = None
+    promotion: str = "all"
+    split_rows: bool = False
+
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.tiers is not None:
+            parsed = parse_tiers(self.tiers)
+            if not parsed:
+                # An explicitly-set but empty hierarchy is a malformed
+                # config, not a request for the legacy two-tier default.
+                raise ValueError(
+                    "tiers was set but names no tiers; omit it (or pass None) "
+                    "for the legacy two-tier stack"
+                )
+            object.__setattr__(self, "tiers", parsed)
+        if self.promotion not in PROMOTION_POLICIES:
+            raise ValueError(
+                f"promotion must be one of {PROMOTION_POLICIES}: {self.promotion!r}"
+            )
+        if self.split_rows and self.tiers is None:
+            raise ValueError(
+                "split_rows requires an explicit tiers hierarchy; the legacy "
+                "two-tier stack places whole tables only"
+            )
         if self.num_devices <= 0:
             raise ValueError(f"num_devices must be positive: {self.num_devices}")
         if self.device_capacity_bytes is not None and self.device_capacity_bytes <= 0:
@@ -115,3 +163,31 @@ class SDMConfig:
     def with_overrides(self, **kwargs) -> "SDMConfig":
         """Return a copy with some fields replaced (convenience for sweeps)."""
         return replace(self, **kwargs)
+
+    def resolved_tiers(self) -> Tuple[TierSpec, ...]:
+        """The tier geometry this config describes (fastest first).
+
+        With ``tiers`` set, that list verbatim; otherwise the classic
+        two-tier equivalent: a DRAM tier whose placement budget is
+        ``dram_budget_bytes`` and whose row cache is the unified cache,
+        plus one device tier built from the legacy device fields.
+        """
+        if self.tiers is not None:
+            return self.tiers
+        device_capacity = (
+            self.device_capacity_bytes
+            if self.device_capacity_bytes is not None
+            else TABLE1_SPECS[self.device_technology].capacity_bytes
+        )
+        return (
+            TierSpec(
+                technology=Technology.DRAM,
+                capacity_bytes=self.dram_budget_bytes,
+                cache_bytes=self.row_cache_capacity_bytes,
+            ),
+            TierSpec(
+                technology=self.device_technology,
+                capacity_bytes=device_capacity * self.num_devices,
+                num_devices=self.num_devices,
+            ),
+        )

@@ -1,20 +1,24 @@
 """The Software Defined Memory embedding backend.
 
-:class:`SoftwareDefinedMemory` places the model's user embedding tables on
-simulated SM devices according to a placement policy, serves row lookups
-through the unified FM row cache backed by an io_uring-style engine with
-sub-block reads, optionally short-circuits whole requests through the pooled
-embedding cache (Algorithm 1), and accounts for the fast-memory and CPU costs
-of every choice.  It implements :class:`~repro.dlrm.inference.EmbeddingBackend`,
-so an :class:`~repro.dlrm.inference.InferenceEngine` can serve queries through
-it and the end-to-end latency reflects whether the SM fetch is hidden behind
-the item-side work (Equation 3 of the paper).
+:class:`SoftwareDefinedMemory` places the model's user embedding tables
+across an ordered hierarchy of memory tiers (:mod:`repro.hierarchy`) and
+serves row lookups through the tier chain: probe the row caches of faster
+tiers, miss down to the row's home tier, promote on a configurable policy.
+The classic configuration — one fast-memory tier with the unified row cache
+in front of one SM device technology — is the two-tier special case and is
+bit-identical to the original hard-coded FM-cache-then-SM path.  Requests
+can optionally short-circuit through the pooled embedding cache
+(Algorithm 1), and the fast-memory and CPU costs of every choice are
+accounted.  It implements :class:`~repro.dlrm.inference.EmbeddingBackend`,
+so an :class:`~repro.dlrm.inference.InferenceEngine` can serve queries
+through it and the end-to-end latency reflects whether the slow-tier fetch
+is hidden behind the item-side work (Equation 3 of the paper).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,19 +26,21 @@ from repro.cache.unified import UnifiedCacheConfig, UnifiedRowCache
 from repro.core.config import AccessPathKind, SDMConfig
 from repro.core.depruning import deprune_table
 from repro.core.dequantization import DequantizedTable, dequantize_table
-from repro.core.placement import Placement, Tier, compute_placement
+from repro.core.placement import Placement, PlacementPolicy, compute_placement
 from repro.core.pooled_cache import PooledEmbeddingCache
 from repro.dlrm.embedding import EmbeddingTableSpec
 from repro.dlrm.inference import ComputeSpec, EmbeddingBackend
 from repro.dlrm.model import DLRMModel
 from repro.dlrm.pruning import PRUNED, PrunedEmbeddingTable
 from repro.dlrm.quantization import dequantize_rows
-from repro.sim.units import BLOCK_SIZE
-from repro.storage.access import DirectIOReader, MmapReader
-from repro.storage.block_layout import BlockLayout
+from repro.hierarchy.chain import TierChain
+from repro.hierarchy.placement import (
+    TieredPlacement,
+    compute_tiered_placement,
+    whole_table_segments,
+)
+from repro.hierarchy.tier import DeviceTier, MemoryTier, TierSpec, build_tiers
 from repro.storage.device import DeviceStats, SimulatedDevice
-from repro.storage.io_engine import IOEngine
-from repro.storage.spec import DeviceSpec, TABLE1_SPECS
 
 #: Host CPU time per FM-resident mapping-tensor lookup (pruned tables).
 MAPPING_LOOKUP_SECONDS = 3.0e-8
@@ -42,19 +48,23 @@ MAPPING_LOOKUP_SECONDS = 3.0e-8
 CACHE_PROBE_SECONDS = 2.0e-7
 #: Host CPU time for a pooled-embedding-cache probe (hash + lookup).
 POOLED_PROBE_SECONDS = 5.0e-7
+#: Bytes per entry of the rank mapping tensor kept in FM for row-split tables.
+RANK_INDEX_BYTES = 4
 
 
 @dataclass
 class _SMTable:
-    """Serving state of one table placed on the SM tier."""
+    """Serving state of one table with rows homed below tier 0."""
 
     spec: EmbeddingTableSpec
     stored_rows: int
     row_bytes: int
     decode: Callable[[bytes], np.ndarray]
+    decode_batch: Callable[[np.ndarray], np.ndarray]
     cache_enabled: bool
     mapping: Optional[np.ndarray] = None
     mapping_fm_bytes: int = 0
+    rank_order: Optional[np.ndarray] = None
     depruned: bool = False
     dequantized: bool = False
 
@@ -94,7 +104,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         model: DLRMModel,
         config: SDMConfig,
         compute: Optional[ComputeSpec] = None,
-        placement: Optional[Placement] = None,
+        placement: Optional[Union[Placement, TieredPlacement]] = None,
         pruned_tables: Optional[Mapping[str, PrunedEmbeddingTable]] = None,
         devices: Optional[Sequence[SimulatedDevice]] = None,
     ) -> None:
@@ -108,34 +118,14 @@ class SoftwareDefinedMemory(EmbeddingBackend):
                 f"pruned tables not present in the model: {sorted(unknown_pruned)}"
             )
 
-        self.placement = (
-            placement
-            if placement is not None
-            else compute_placement(
-                model.table_specs,
-                policy=config.placement_policy,
-                dram_budget_bytes=config.dram_budget_bytes,
-                pinned_fm_tables=config.pinned_fm_tables,
-                cache_disable_alpha_threshold=config.cache_disable_alpha_threshold,
+        self.tier_specs: Tuple[TierSpec, ...] = config.resolved_tiers()
+        if devices is not None and config.tiers is not None:
+            raise ValueError(
+                "prebuilt devices cannot be combined with an explicit tiers config"
             )
-        )
+        self._init_placement(placement)
+        self._build_tiers(devices)
 
-        self.devices = list(devices) if devices is not None else self._build_devices()
-        self.layout = BlockLayout([d.spec.capacity_bytes for d in self.devices])
-        self.io_engine = IOEngine(self.devices, config.io)
-        if config.access_path is AccessPathKind.DIRECT_IO:
-            self.access_path = DirectIOReader(self.io_engine, self.layout)
-        else:
-            self.access_path = MmapReader(self.io_engine, self.layout)
-
-        self.row_cache = UnifiedRowCache(
-            UnifiedCacheConfig(
-                capacity_bytes=config.row_cache_capacity_bytes,
-                memory_optimized_fraction=config.memory_optimized_fraction,
-                small_row_threshold_bytes=config.small_row_threshold_bytes,
-                num_partitions=config.num_cache_partitions,
-            )
-        )
         self.pooled_cache: Optional[PooledEmbeddingCache] = None
         if config.pooled_cache_enabled:
             self.pooled_cache = PooledEmbeddingCache(
@@ -146,20 +136,117 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         self.stats = SDMStats()
         self._sm_tables: Dict[str, _SMTable] = {}
         self._load_sm_tables()
+        self._resolve_fast_segments()
+
+        self.chain = TierChain(
+            self.tiers,
+            self.tiered_placement,
+            promotion=config.promotion,
+            cache_probe_seconds=CACHE_PROBE_SECONDS,
+            fm_lookup_overhead=self.compute.per_lookup_overhead,
+            fm_bandwidth=self.compute.memory_bandwidth,
+        )
 
     # ------------------------------------------------------------------ setup
-    def _build_devices(self) -> List[SimulatedDevice]:
-        base_spec: DeviceSpec = TABLE1_SPECS[self.config.device_technology]
-        if self.config.device_capacity_bytes is not None:
-            base_spec = base_spec.with_capacity(self.config.device_capacity_bytes)
-        return [
-            SimulatedDevice(base_spec, seed=self.config.seed + index)
-            for index in range(self.config.num_devices)
-        ]
+    def _init_placement(self, placement: Optional[Union[Placement, TieredPlacement]]) -> None:
+        """Resolve the (possibly user-supplied) placement for this config.
+
+        In legacy two-tier mode the original :func:`compute_placement`
+        policies run unchanged and are lifted into the N-tier representation,
+        so the decisions — and therefore the serving path — stay identical.
+        """
+        if isinstance(placement, TieredPlacement):
+            if placement.num_tiers > len(self.tier_specs):
+                raise ValueError(
+                    f"placement references {placement.num_tiers} tiers but the "
+                    f"config resolves to {len(self.tier_specs)}"
+                )
+            # Work on a copy: loading re-anchors whole-table segments on the
+            # stored row count, which must not mutate the caller's object.
+            self.tiered_placement = placement.copy()
+            self.placement: Union[Placement, TieredPlacement] = self.tiered_placement
+            return
+        if placement is not None or self.config.tiers is None:
+            legacy = (
+                placement
+                if placement is not None
+                else compute_placement(
+                    self.model.table_specs,
+                    policy=self.config.placement_policy,
+                    dram_budget_bytes=self.config.dram_budget_bytes,
+                    pinned_fm_tables=self.config.pinned_fm_tables,
+                    cache_disable_alpha_threshold=self.config.cache_disable_alpha_threshold,
+                )
+            )
+            self.placement = legacy
+            self.tiered_placement = TieredPlacement.from_legacy(
+                legacy, num_tiers=len(self.tier_specs)
+            )
+            return
+        threshold = (
+            self.config.cache_disable_alpha_threshold
+            if self.config.placement_policy is PlacementPolicy.PER_TABLE_CACHE
+            else None
+        )
+        self.tiered_placement = compute_tiered_placement(
+            self.model.table_specs,
+            self.tier_specs,
+            pinned_fast_tables=self.config.pinned_fm_tables,
+            cache_disable_alpha_threshold=threshold,
+            granularity="rows" if self.config.split_rows else "table",
+        )
+        self.placement = self.tiered_placement
+
+    def _build_tiers(self, devices: Optional[Sequence[SimulatedDevice]]) -> None:
+        config = self.config
+        fast_spec = self.tier_specs[0]
+        cache_bytes = (
+            fast_spec.cache_bytes
+            if fast_spec.cache_bytes is not None
+            else config.row_cache_capacity_bytes
+        )
+        if cache_bytes <= 0:
+            raise ValueError(
+                "tier 0 needs a positive row-cache budget; omit 'cache' to use "
+                "row_cache_capacity_bytes"
+            )
+        self.row_cache = UnifiedRowCache(self._cache_config(cache_bytes))
+        self.tiers: List[MemoryTier] = build_tiers(
+            self.tier_specs,
+            io_config=config.io,
+            fast_cache=self.row_cache,
+            device_cache_config=lambda spec: (
+                self._cache_config(spec.cache_bytes) if spec.cache_bytes else None
+            ),
+            use_mmap=config.access_path is AccessPathKind.MMAP,
+            seed=config.seed,
+            fast_row_source=self._fast_row_bytes,
+            first_device_tier_devices=devices,
+        )
+
+        device_tiers = self.device_tiers
+        # Legacy aliases: the first device tier's machinery, plus the flat
+        # device list across every tier.
+        self.devices = [device for tier in device_tiers for device in tier.devices]
+        self.layout = device_tiers[0].layout
+        self.io_engine = device_tiers[0].io_engine
+        self.access_path = device_tiers[0].access_path
+
+    def _cache_config(self, capacity_bytes: int) -> UnifiedCacheConfig:
+        return UnifiedCacheConfig(
+            capacity_bytes=capacity_bytes,
+            memory_optimized_fraction=self.config.memory_optimized_fraction,
+            small_row_threshold_bytes=self.config.small_row_threshold_bytes,
+            num_partitions=self.config.num_cache_partitions,
+        )
+
+    @property
+    def device_tiers(self) -> List[DeviceTier]:
+        return [tier for tier in self.tiers if isinstance(tier, DeviceTier)]
 
     def _sm_source_for(self, table_name: str) -> _SMTable:
-        """Decide what bytes are stored on SM for one table."""
-        decision = self.placement.for_table(table_name)
+        """Decide what bytes are stored below tier 0 for one table."""
+        decision = self.tiered_placement.for_table(table_name)
         spec = self.model.table(table_name).spec
 
         if table_name in self.pruned_tables:
@@ -172,6 +259,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
                     stored_rows=table.spec.num_rows,
                     row_bytes=table.spec.row_bytes,
                     decode=self._make_quantized_decoder(table.spec),
+                    decode_batch=self._make_quantized_batch_decoder(table.spec),
                     cache_enabled=decision.cache_enabled,
                     depruned=True,
                 )
@@ -180,6 +268,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
                 stored_rows=pruned.table.spec.num_rows,
                 row_bytes=pruned.table.spec.row_bytes,
                 decode=self._make_quantized_decoder(pruned.table.spec),
+                decode_batch=self._make_quantized_batch_decoder(pruned.table.spec),
                 cache_enabled=decision.cache_enabled,
                 mapping=pruned.mapping,
                 mapping_fm_bytes=pruned.mapping_tensor_bytes,
@@ -193,6 +282,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
                 stored_rows=spec.num_rows,
                 row_bytes=dequantized.row_bytes,
                 decode=DequantizedTable.decode_row,
+                decode_batch=self._decode_float_batch,
                 cache_enabled=decision.cache_enabled,
                 dequantized=True,
             )
@@ -202,6 +292,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             stored_rows=spec.num_rows,
             row_bytes=spec.row_bytes,
             decode=self._make_quantized_decoder(spec),
+            decode_batch=self._make_quantized_batch_decoder(spec),
             cache_enabled=decision.cache_enabled,
         )
 
@@ -215,8 +306,27 @@ class SoftwareDefinedMemory(EmbeddingBackend):
 
         return decode
 
+    @staticmethod
+    def _make_quantized_batch_decoder(
+        spec: EmbeddingTableSpec,
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        dim, bits = spec.dim, spec.quant_bits
+
+        def decode_batch(rows: np.ndarray) -> np.ndarray:
+            return dequantize_rows(rows, dim, bits)
+
+        return decode_batch
+
+    @staticmethod
+    def _decode_float_batch(rows: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(rows).view(np.float32)
+
     def _row_source_bytes(self, table_name: str, state: _SMTable, stored_index: int) -> bytes:
         """Serialized bytes of one stored row (used when loading to devices)."""
+        if state.rank_order is not None:
+            return self.model.table(table_name).row_bytes_at(
+                int(state.rank_order[stored_index])
+            )
         if state.dequantized:
             table = self.model.table(table_name)
             return table.lookup_dense([stored_index])[0].astype(np.float32).tobytes()
@@ -229,55 +339,88 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             return pruned.table.row_bytes_at(stored_index)
         return self.model.table(table_name).row_bytes_at(stored_index)
 
+    def _fast_row_bytes(self, table_name: str, stored_index: int) -> bytes:
+        """Row source for stored rows homed on the fast tier (row splits)."""
+        return self._row_source_bytes(table_name, self._sm_tables[table_name], stored_index)
+
     def _load_sm_tables(self) -> None:
-        """Lay out and write every SM-placed table onto the devices."""
+        """Lay out and write every device-homed table segment onto its tier."""
         self._depruned_cache: Dict[str, Dict[int, bytes]] = {}
-        for table_name in self.placement.sm_tables():
+        for table_name in self.tiered_placement.storage_tables():
             if table_name not in self.model.tables:
                 raise KeyError(
                     f"placement references table {table_name!r} that the model lacks"
                 )
+            decision = self.tiered_placement.for_table(table_name)
             state = self._sm_source_for(table_name)
+            if decision.is_split or decision.rank_order is not None:
+                if table_name in self.pruned_tables or state.dequantized:
+                    raise ValueError(
+                        f"table {table_name!r}: row-split placement cannot be "
+                        f"combined with pruned or dequantize-at-load tables"
+                    )
+                if decision.rank_order is not None:
+                    # Hotness-ranked split: rows are stored rank-ordered, so a
+                    # mapping tensor (row id -> stored rank) lives in FM —
+                    # exactly like the pruning mapping, and with the same
+                    # per-lookup cost.
+                    state.rank_order = decision.rank_order
+                    mapping = np.empty(state.stored_rows, dtype=np.int64)
+                    mapping[decision.rank_order] = np.arange(
+                        state.stored_rows, dtype=np.int64
+                    )
+                    state.mapping = mapping
+                    state.mapping_fm_bytes = state.stored_rows * RANK_INDEX_BYTES
             if state.depruned:
                 pruned = self.pruned_tables[table_name]
                 live = np.nonzero(pruned.mapping != PRUNED)[0]
                 self._depruned_cache[table_name] = {
-                    int(unpruned_index): pruned.table.row_bytes_at(int(pruned.mapping[unpruned_index]))
+                    int(unpruned_index): pruned.table.row_bytes_at(
+                        int(pruned.mapping[unpruned_index])
+                    )
                     for unpruned_index in live
                 }
             self._sm_tables[table_name] = state
-            self.layout.add_table(table_name, state.stored_rows, state.row_bytes)
-            self._write_table_to_devices(table_name, state)
+            segments = whole_table_segments(decision, state.stored_rows)
+            decision.segments = segments
+            whole = len(segments) == 1
+            for segment in segments:
+                if segment.tier == 0:
+                    continue
+                tier = self.tiers[segment.tier]
+                assert isinstance(tier, DeviceTier)
+                tier.add_segment(
+                    table_name,
+                    segment.start,
+                    segment.end,
+                    state.row_bytes,
+                    row_source=lambda stored, name=table_name, st=state: (
+                        self._row_source_bytes(name, st, stored)
+                    ),
+                    whole_table=whole,
+                )
 
-    def _write_table_to_devices(self, table_name: str, state: _SMTable) -> None:
-        extent = self.layout.extent(table_name)
-        device = self.devices[extent.device_index]
-        rows_per_block = extent.rows_per_block
-        for block_offset in range(extent.num_blocks):
-            buffer = bytearray(BLOCK_SIZE)
-            first_row = block_offset * rows_per_block
-            for slot in range(rows_per_block):
-                row_index = first_row + slot
-                if row_index >= state.stored_rows:
-                    break
-                row = self._row_source_bytes(table_name, state, row_index)
-                start = slot * state.row_bytes
-                buffer[start : start + len(row)] = row
-            device.write_block(extent.first_lba + block_offset, bytes(buffer))
+    def _resolve_fast_segments(self) -> None:
+        """Resolve whole-table sentinel segments of tables homed on tier 0."""
+        for table_name, decision in self.tiered_placement.decisions.items():
+            if table_name in self._sm_tables or table_name not in self.model.tables:
+                continue
+            stored_rows = self.model.table(table_name).spec.num_rows
+            decision.segments = whole_table_segments(decision, stored_rows)
 
     # ------------------------------------------------------------ accounting
     def fm_footprint_bytes(self) -> int:
-        """Fast memory consumed: direct tables, mapping tensors, caches."""
+        """Fast memory consumed: tier-0 data, mapping tensors, caches."""
         specs = {t.spec.name: t.spec for t in self.model.tables.values()}
-        direct = self.placement.fm_direct_bytes(specs)
+        direct = self.tiered_placement.tier_bytes(specs, 0)
         mappings = sum(state.mapping_fm_bytes for state in self._sm_tables.values())
         pooled = self.pooled_cache.capacity_bytes if self.pooled_cache else 0
-        access_path_fm = self.access_path.fm_footprint_bytes()
+        access_path_fm = sum(tier.fm_footprint_bytes() for tier in self.device_tiers)
         return direct + mappings + self.row_cache.capacity_bytes + pooled + access_path_fm
 
     def sm_footprint_bytes(self) -> int:
-        """Slow memory consumed by the placed tables."""
-        return self.layout.total_allocated_bytes()
+        """Bytes of table data stored on the device tiers."""
+        return sum(tier.allocated_bytes() for tier in self.device_tiers)
 
     def device_stats(self) -> DeviceStats:
         merged = DeviceStats()
@@ -295,18 +438,46 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             return 0.0
         return self.pooled_cache.stats.hit_rate
 
+    def tier_summaries(self) -> List[Dict[str, Any]]:
+        """Per-tier serving summary: geometry, hit rates, rows/bytes served."""
+        specs = {t.spec.name: t.spec for t in self.model.tables.values()}
+        summaries: List[Dict[str, Any]] = []
+        for index, tier in enumerate(self.tiers):
+            data_bytes = (
+                self.tiered_placement.tier_bytes(specs, 0)
+                if index == 0
+                else tier.allocated_bytes()
+            )
+            summaries.append(
+                {
+                    "tier": index,
+                    "name": tier.spec.name,
+                    "technology": tier.spec.technology.value,
+                    "capacity_bytes": tier.spec.capacity_bytes,
+                    "data_bytes": data_bytes,
+                    "cache_capacity_bytes": (
+                        tier.cache.capacity_bytes if tier.cache is not None else 0
+                    ),
+                    "cache_hit_rate": (
+                        tier.cache.stats.hit_rate if tier.cache is not None else None
+                    ),
+                    "rows_served": tier.stats.rows_served,
+                    "bytes_served": tier.stats.bytes_served,
+                    "ios": tier.stats.ios,
+                    "tables": len(self.tiered_placement.tables_on(index)),
+                }
+            )
+        return summaries
+
     def reset_stats(self) -> None:
         self.stats = SDMStats()
-        self.row_cache.reset_stats()
         if self.pooled_cache is not None:
             self.pooled_cache.reset_stats()
-        self.io_engine.reset_stats()
-        for device in self.devices:
-            device.reset_stats()
+        self.chain.reset_stats()
 
     def clear_caches(self) -> None:
         """Drop cached rows and pooled vectors (cold start / full update)."""
-        self.row_cache.clear()
+        self.chain.clear_caches()
         if self.pooled_cache is not None:
             self.pooled_cache.clear()
 
@@ -340,8 +511,11 @@ class SoftwareDefinedMemory(EmbeddingBackend):
     ) -> Tuple[np.ndarray, float]:
         if not indices:
             raise ValueError(f"table {table_name!r}: request has no indices")
-        decision = self.placement.for_table(table_name)
-        if decision.tier is Tier.FM_DIRECT:
+        if table_name not in self._sm_tables:
+            # Raises KeyError for tables the placement never decided — a
+            # partial user-supplied placement must fail loudly, not silently
+            # serve from fast memory.
+            self.tiered_placement.for_table(table_name)
             return self._serve_from_fm(table_name, indices, start_time)
         return self._serve_from_sm(table_name, indices, start_time)
 
@@ -352,6 +526,9 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         vector = table.bag(indices)
         elapsed = self.compute.embedding_read_time(len(indices), table.spec.row_bytes)
         self.stats.fm_direct_lookups += len(indices)
+        fast = self.tiers[0]
+        fast.stats.rows_served += len(indices)
+        fast.stats.bytes_served += len(indices) * table.spec.row_bytes
         return vector, start_time + elapsed
 
     def _serve_from_sm(
@@ -371,56 +548,52 @@ class SoftwareDefinedMemory(EmbeddingBackend):
                 self.stats.pooled_cache_hits += 1
                 return cached, cursor
 
-        # Resolve the stored index of each requested (unpruned-space) index.
-        stored_indices: List[Optional[int]] = []
+        # Resolve the stored index of each requested (unpruned-space) index
+        # with one batched mapping-tensor gather.
+        index_array = np.asarray(indices, dtype=np.int64)
         if state.mapping is not None:
-            cursor += len(indices) * MAPPING_LOOKUP_SECONDS
-            for index in indices:
-                mapped = int(state.mapping[index])
-                if mapped == PRUNED:
-                    stored_indices.append(None)
-                    self.stats.pruned_rows_skipped += 1
-                else:
-                    stored_indices.append(mapped)
+            cursor += index_array.size * MAPPING_LOOKUP_SECONDS
+            stored = state.mapping[index_array]
+            self.stats.pruned_rows_skipped += int(np.count_nonzero(stored == PRUNED))
         else:
-            stored_indices = [int(index) for index in indices]
+            stored = index_array
 
-        # Row cache probes.
-        row_bytes_by_position: Dict[int, bytes] = {}
-        missing_positions: List[int] = []
-        for position, stored in enumerate(stored_indices):
-            if stored is None:
-                continue
-            if state.cache_enabled:
-                cursor += CACHE_PROBE_SECONDS
-                cached_row = self.row_cache.get((table_name, stored), size_hint=state.row_bytes)
-                if cached_row is not None:
-                    row_bytes_by_position[position] = cached_row
-                    continue
-            missing_positions.append(position)
+        stored_by_position = [
+            (position, stored_index)
+            for position, stored_index in enumerate(stored.tolist())
+            if stored_index != PRUNED
+        ]
 
-        # IO phase for the misses.
-        if missing_positions:
-            missing_stored = [stored_indices[p] for p in missing_positions]
-            reads = self.access_path.read_rows(table_name, missing_stored, cursor)
-            io_done = max(read.completion_time for read in reads)
-            self.stats.sm_ios += len(reads)
-            for position, read in zip(missing_positions, reads):
-                row_bytes_by_position[position] = read.data
-                if state.cache_enabled:
-                    self.row_cache.put((table_name, stored_indices[position]), read.data)
-            cursor = max(cursor, io_done)
+        # Serve through the tier chain: probe upper caches, read misses from
+        # each row's home tier, promote per policy.
+        outcome = self.chain.fetch_rows(
+            table_name,
+            stored_by_position,
+            cursor,
+            cache_enabled=state.cache_enabled,
+            size_hint=state.row_bytes,
+        )
+        self.stats.sm_ios += outcome.device_reads
+        cursor = outcome.completion_time
 
         # Dequantise and pool in the original request order so results are
-        # bit-identical to the in-memory reference path.
+        # bit-identical to the in-memory reference path.  All fetched rows of
+        # one table share a byte length, so decoding is one batched call.
         rows = np.zeros((len(indices), state.spec.dim), dtype=np.float32)
+        served_positions = sorted(outcome.rows_by_position)
+        raws = [outcome.rows_by_position[position] for position in served_positions]
         fetched_bytes = 0
-        for position in range(len(indices)):
-            raw = row_bytes_by_position.get(position)
-            if raw is None:
-                continue  # pruned row contributes zeros
-            rows[position] = state.decode(raw)
-            fetched_bytes += len(raw)
+        if raws:
+            fetched_bytes = sum(len(raw) for raw in raws)
+            lengths = {len(raw) for raw in raws}
+            if len(lengths) == 1:
+                matrix = np.frombuffer(b"".join(raws), dtype=np.uint8).reshape(
+                    len(raws), lengths.pop()
+                )
+                rows[served_positions] = state.decode_batch(matrix)
+            else:  # pragma: no cover - defensive; row lengths are uniform
+                for position, raw in zip(served_positions, raws):
+                    rows[position] = state.decode(raw)
         pooled = rows.sum(axis=0)
         cursor += fetched_bytes / self.compute.dequant_bytes_per_second
 

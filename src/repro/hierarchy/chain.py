@@ -1,0 +1,192 @@
+"""The tier chain: serving row lookups through an N-tier hierarchy.
+
+A :class:`TierChain` owns an ordered list of :class:`~repro.hierarchy.tier.MemoryTier`
+objects (fastest first) plus the :class:`~repro.hierarchy.placement.TieredPlacement`
+that says where every stored row lives.  Serving one row homed on tier ``k``:
+
+1. probe the row caches of tiers ``0 .. k-1`` in order (each probe costs host
+   CPU time),
+2. on a full miss, read the row from tier ``k`` — fast-memory bytes for rows
+   homed on tier 0, a device IO otherwise,
+3. promote the row into upper-tier caches according to the configurable
+   promotion policy (``all`` — every cache above the home tier; ``top`` —
+   the fastest cache only; ``none``).
+
+Whenever only tier 0 carries a cache — every legacy two-tier configuration —
+``all`` and ``top`` coincide and the chain is bit-identical to the original
+FM-cache-then-SM path of :class:`~repro.core.sdm.SoftwareDefinedMemory`,
+which the parity tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hierarchy.placement import TieredPlacement
+from repro.hierarchy.tier import PROMOTION_POLICIES, MemoryTier
+
+
+@dataclass
+class FetchOutcome:
+    """Result of fetching one batch of stored rows through the chain."""
+
+    rows_by_position: Dict[int, bytes]
+    completion_time: float
+    device_reads: int = 0
+    fast_rows: int = 0
+    cache_hits: int = 0
+    probe_seconds: float = 0.0
+    reads_by_tier: Dict[int, int] = field(default_factory=dict)
+
+
+class TierChain:
+    """Serves stored-row lookups through an ordered list of memory tiers."""
+
+    def __init__(
+        self,
+        tiers: Sequence[MemoryTier],
+        placement: TieredPlacement,
+        *,
+        promotion: str = "top",
+        cache_probe_seconds: float = 0.0,
+        fm_lookup_overhead: float = 0.0,
+        fm_bandwidth: float = float("inf"),
+    ) -> None:
+        if not tiers:
+            raise ValueError("TierChain needs at least one tier")
+        if promotion not in PROMOTION_POLICIES:
+            raise ValueError(
+                f"unknown promotion policy {promotion!r}; choices: {PROMOTION_POLICIES}"
+            )
+        if placement.num_tiers > len(tiers):
+            raise ValueError(
+                f"placement references {placement.num_tiers} tiers, chain has {len(tiers)}"
+            )
+        self.tiers = list(tiers)
+        self.placement = placement
+        self.promotion = promotion
+        self.cache_probe_seconds = cache_probe_seconds
+        self.fm_lookup_overhead = fm_lookup_overhead
+        self.fm_bandwidth = fm_bandwidth
+        # Which tiers carry a cache never changes after construction, so the
+        # per-home-tier probe lists (walked for every row) are precomputed.
+        cached = [index for index, tier in enumerate(self.tiers) if tier.cache is not None]
+        self._upper_cache_indices: List[List[int]] = [
+            [index for index in cached if index < home_tier]
+            for home_tier in range(len(self.tiers) + 1)
+        ]
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tiers)
+
+    def _upper_caches(self, home_tier: int) -> List[int]:
+        """Tier indices above ``home_tier`` that carry a row cache."""
+        return self._upper_cache_indices[home_tier]
+
+    def _promotion_targets(self, home_tier: int) -> List[int]:
+        if self.promotion == "none":
+            return []
+        upper = self._upper_caches(home_tier)
+        if not upper:
+            return []
+        if self.promotion == "top":
+            return upper[:1]
+        return upper
+
+    def fetch_rows(
+        self,
+        table_name: str,
+        stored_by_position: Sequence[Tuple[int, int]],
+        start_time: float,
+        *,
+        cache_enabled: bool = True,
+        size_hint: Optional[int] = None,
+    ) -> FetchOutcome:
+        """Fetch stored rows ``[(position, stored_index), ...]`` of a table.
+
+        Probe costs accrue serially in position order (the host walks the
+        request), then all cache misses are submitted to their home tiers'
+        devices concurrently at the accrued cursor — exactly the two-phase
+        structure of the original two-tier serve path.
+        """
+        decision = self.placement.for_table(table_name)
+        cursor = start_time
+        outcome = FetchOutcome(rows_by_position={}, completion_time=start_time)
+        misses_by_tier: Dict[int, List[Tuple[int, int]]] = {}
+        # One vectorised segment lookup for the whole batch instead of a
+        # per-row linear scan.
+        home_tiers = decision.tiers_of_rows(
+            [stored for _, stored in stored_by_position]
+        )
+
+        for (position, stored), home_tier in zip(stored_by_position, home_tiers):
+            home_tier = int(home_tier)
+            served = False
+            if cache_enabled:
+                for tier_index in self._upper_caches(home_tier):
+                    cursor += self.cache_probe_seconds
+                    outcome.probe_seconds += self.cache_probe_seconds
+                    tier = self.tiers[tier_index]
+                    cached = tier.probe_cache(
+                        (table_name, int(stored)), size_hint=size_hint
+                    )
+                    if cached is not None:
+                        # Bytes cached below tier 0 still cross that tier's
+                        # media, and a hit re-promotes the row into the
+                        # faster caches it has fallen out of (per policy).
+                        cursor += tier.cache_hit_seconds(len(cached))
+                        for target in self._promotion_targets(tier_index):
+                            self.tiers[target].fill_cache(
+                                (table_name, int(stored)), cached
+                            )
+                        outcome.rows_by_position[position] = cached
+                        outcome.cache_hits += 1
+                        served = True
+                        break
+            if served:
+                continue
+            if home_tier == 0:
+                # Fast-memory resident row: read it straight from the model at
+                # fast-memory cost (dequantisation is charged by the caller
+                # together with every other fetched row).
+                read = self.tiers[0].read_rows(table_name, [int(stored)], cursor)[0]
+                data = read.data
+                cursor += self.fm_lookup_overhead + len(data) / self.fm_bandwidth
+                fast = self.tiers[0]
+                fast.stats.rows_served += 1
+                fast.stats.bytes_served += len(data)
+                outcome.rows_by_position[position] = data
+                outcome.fast_rows += 1
+                continue
+            misses_by_tier.setdefault(home_tier, []).append((position, int(stored)))
+
+        io_done = cursor
+        for tier_index, entries in misses_by_tier.items():
+            tier = self.tiers[tier_index]
+            reads = tier.read_rows(
+                table_name, [stored for _, stored in entries], cursor
+            )
+            outcome.device_reads += len(reads)
+            outcome.reads_by_tier[tier_index] = (
+                outcome.reads_by_tier.get(tier_index, 0) + len(reads)
+            )
+            targets = self._promotion_targets(tier_index) if cache_enabled else []
+            for (position, stored), read in zip(entries, reads):
+                outcome.rows_by_position[position] = read.data
+                io_done = max(io_done, read.completion_time)
+                for target in targets:
+                    self.tiers[target].fill_cache((table_name, stored), read.data)
+
+        outcome.completion_time = max(cursor, io_done)
+        return outcome
+
+    # ---------------------------------------------------------------- admin
+    def clear_caches(self) -> None:
+        for tier in self.tiers:
+            tier.clear_cache()
+
+    def reset_stats(self) -> None:
+        for tier in self.tiers:
+            tier.reset_stats()

@@ -1,0 +1,73 @@
+"""Memory-cost accounting and Pareto frontiers for tier geometries.
+
+The Table 1 relative $/GB column turns a hierarchy into a single memory-cost
+number: bytes held on each tier (homed table data plus that tier's cache)
+weighted by the tier's cost factor, normalised so DRAM is 1.0.  This is the
+objective `examples/tier_study.py` and `benchmarks/bench_tier_sweep.py`
+optimise over, and the ROADMAP names it as the future cross-tier autotuning
+objective — so it lives here, once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.sim.units import GB
+from repro.storage.spec import TABLE1_SPECS
+
+#: Cost of one DRAM GB, the normalisation anchor.
+DRAM_COST_FACTOR = 1.0
+
+
+def cost_factor(technology: str) -> float:
+    """Relative $/GB of a technology versus DRAM (Table 1)."""
+    if technology == "dram":
+        return DRAM_COST_FACTOR
+    for spec in TABLE1_SPECS.values():
+        if spec.technology.value == technology:
+            return spec.relative_cost_per_gb
+    known = ["dram"] + [spec.technology.value for spec in TABLE1_SPECS.values()]
+    raise KeyError(f"no cost factor for technology {technology!r}; known: {known}")
+
+
+def memory_cost_dram_gb(tier_summaries: Sequence[Mapping[str, Any]]) -> float:
+    """DRAM-GB equivalents of the bytes a hierarchy actually holds.
+
+    ``tier_summaries`` is the per-tier list a
+    :class:`~repro.api.results.ScenarioResult` carries (``result.tiers``) or
+    :meth:`SoftwareDefinedMemory.tier_summaries` returns: each tier is
+    charged for its homed table data plus its row cache at the tier's cost
+    factor.
+    """
+    return sum(
+        (tier["data_bytes"] + tier["cache_capacity_bytes"])
+        / GB
+        * cost_factor(tier["technology"])
+        for tier in tier_summaries
+    )
+
+
+def pareto_frontier(
+    records: Sequence[Any],
+    *,
+    cost: Callable[[Any], float],
+    latency: Callable[[Any], float],
+) -> List[Any]:
+    """Records not strictly dominated in (cost, latency) — lower is better.
+
+    A record is dominated when some other record is both cheaper *and*
+    faster; ties survive, so equal configurations all stay on the frontier.
+    """
+    keyed: List[Dict[str, Any]] = [
+        {"record": record, "cost": cost(record), "latency": latency(record)}
+        for record in records
+    ]
+    return [
+        entry["record"]
+        for entry in keyed
+        if not any(
+            other["cost"] < entry["cost"] and other["latency"] < entry["latency"]
+            for other in keyed
+            if other is not entry
+        )
+    ]

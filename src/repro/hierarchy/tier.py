@@ -1,0 +1,635 @@
+"""First-class memory tiers for the N-tier hierarchy.
+
+The paper's design space (Table 1) is a memory-technology spectrum — DRAM,
+CXL/DIMM 3DXP, Optane, ZSSD, NAND — but the original reproduction hard-coded
+exactly two tiers (fast memory + one SM device technology).  This module
+promotes tiers to pluggable objects:
+
+* :class:`TierSpec` — the declarative description of one tier: technology,
+  capacity, optional per-tier row-cache budget, device count.  Specs parse
+  from compact strings (``"cxl:32GiB"``), mappings (``{"technology": "nand",
+  "capacity": "1TiB", "cache": "4MiB"}``) or existing instances, so they
+  travel through JSON scenario specs and CLI flags unchanged.
+* :class:`MemoryTier` — the runtime protocol every tier implements: capacity
+  and latency/bandwidth accounting, an optional per-tier row cache, and
+  cumulative :class:`TierStats`.
+* :class:`FastTier` / :class:`DeviceTier` — the two concrete kinds: byte-
+  addressable fast memory (rows served straight from the in-memory model) and
+  device-backed tiers (a :class:`~repro.storage.block_layout.BlockLayout`
+  over :class:`~repro.storage.device.SimulatedDevice` instances behind an
+  io_uring-style engine).
+
+An ordered list of tiers — fastest first — is what
+:class:`~repro.hierarchy.chain.TierChain` serves lookups through.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cache.unified import UnifiedCacheConfig, UnifiedRowCache
+from repro.sim.units import BLOCK_SIZE, parse_size
+from repro.storage.access import AccessPath, DirectIOReader, MmapReader, ReadResult
+from repro.storage.block_layout import BlockLayout
+from repro.storage.device import DeviceStats, SimulatedDevice
+from repro.storage.io_engine import IOEngine, IOEngineConfig
+from repro.storage.spec import TABLE1_SPECS, DeviceSpec, Technology
+
+#: Short, CLI-friendly aliases for the Table 1 technologies.
+TECHNOLOGY_ALIASES: Dict[str, Technology] = {
+    "dram": Technology.DRAM,
+    "nand": Technology.NAND_FLASH,
+    "flash": Technology.NAND_FLASH,
+    "optane": Technology.OPTANE_SSD,
+    "zssd": Technology.ZSSD,
+    "dimm": Technology.DIMM_3DXP,
+    "scm": Technology.DIMM_3DXP,
+    "cxl": Technology.CXL_3DXP,
+}
+
+
+def parse_technology(value: Union[str, Technology]) -> Technology:
+    """Resolve a technology from an enum member, its value, name, or alias."""
+    if isinstance(value, Technology):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in TECHNOLOGY_ALIASES:
+            return TECHNOLOGY_ALIASES[lowered]
+        try:
+            return Technology(lowered)
+        except ValueError:
+            pass
+        try:
+            return Technology[value.strip().upper()]
+        except KeyError:
+            pass
+    known = sorted(TECHNOLOGY_ALIASES) + [member.value for member in Technology]
+    raise ValueError(f"unknown memory technology {value!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Declarative description of one memory tier.
+
+    Attributes
+    ----------
+    technology:
+        Table 1 technology family; ``Technology.DRAM`` marks a byte-
+        addressable fast tier (no simulated devices).
+    capacity_bytes:
+        Placement budget of the tier.  For the fast tier this bounds how many
+        user tables (or hot row ranges) are homed directly in fast memory —
+        generalising the old ``dram_budget_bytes`` — so ``0`` is legal there.
+    cache_bytes:
+        Row-cache budget fronting slower tiers.  ``None`` keeps the tier's
+        default (the configured unified-cache budget on tier 0, no cache on
+        device tiers).
+    num_devices:
+        Device count for device-backed tiers (capacity is split evenly).
+    name:
+        Display name; defaults to the technology value.
+    """
+
+    technology: Technology
+    capacity_bytes: int
+    cache_bytes: Optional[int] = None
+    num_devices: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "technology", parse_technology(self.technology))
+        object.__setattr__(self, "capacity_bytes", parse_size(self.capacity_bytes))
+        if self.cache_bytes is not None:
+            object.__setattr__(self, "cache_bytes", parse_size(self.cache_bytes))
+            if self.cache_bytes < 0:
+                raise ValueError(f"cache_bytes must be non-negative: {self.cache_bytes}")
+        if self.capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be non-negative: {self.capacity_bytes}")
+        if not self.is_fast and self.capacity_bytes == 0:
+            raise ValueError(
+                f"device tier {self.technology.value!r} needs a positive capacity"
+            )
+        if self.num_devices <= 0:
+            raise ValueError(f"num_devices must be positive: {self.num_devices}")
+        if not self.is_fast and self.technology not in TABLE1_SPECS:
+            raise ValueError(
+                f"no Table 1 device spec for technology {self.technology.value!r}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", self.technology.value)
+
+    @property
+    def is_fast(self) -> bool:
+        """True for byte-addressable fast memory (DRAM) tiers."""
+        return self.technology is Technology.DRAM
+
+    def with_capacity(self, capacity_bytes: int) -> "TierSpec":
+        return replace(self, capacity_bytes=capacity_bytes)
+
+    # ------------------------------------------------------------- conversion
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "technology": self.technology.value,
+            "capacity": self.capacity_bytes,
+        }
+        if self.cache_bytes is not None:
+            data["cache"] = self.cache_bytes
+        if self.num_devices != 1:
+            data["devices"] = self.num_devices
+        if self.name != self.technology.value:
+            data["name"] = self.name
+        return data
+
+    @classmethod
+    def from_value(cls, value: Union["TierSpec", str, Mapping]) -> "TierSpec":
+        """Build a spec from an instance, a ``tech:capacity[:cache]`` string,
+        or a mapping with ``technology``/``capacity``/``cache``/``devices``."""
+        if isinstance(value, TierSpec):
+            return value
+        if isinstance(value, str):
+            # Positions are significant: "dram::64KiB" means default capacity
+            # with a 64KiB cache, so empty segments keep their slot instead
+            # of silently shifting later values left.
+            parts = [part.strip() for part in value.split(":")]
+            if not 1 <= len(parts) <= 3 or not parts[0]:
+                raise ValueError(
+                    f"tier string must be 'tech[:capacity[:cache]]', got {value!r}"
+                )
+            technology = parse_technology(parts[0])
+            default_capacity = (
+                0
+                if technology is Technology.DRAM
+                else TABLE1_SPECS[technology].capacity_bytes
+            )
+            capacity = (
+                parse_size(parts[1])
+                if len(parts) >= 2 and parts[1]
+                else default_capacity
+            )
+            cache = parse_size(parts[2]) if len(parts) == 3 and parts[2] else None
+            return cls(
+                technology=technology,
+                capacity_bytes=capacity,
+                cache_bytes=cache,
+            )
+        if isinstance(value, Mapping):
+            known = {"technology", "capacity", "capacity_bytes", "cache", "cache_bytes", "devices", "num_devices", "name"}
+            unknown = set(value) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown tier keys {sorted(unknown)}; valid keys: {sorted(known)}"
+                )
+            for canonical, alias in (
+                ("capacity", "capacity_bytes"),
+                ("cache", "cache_bytes"),
+                ("devices", "num_devices"),
+            ):
+                if canonical in value and alias in value:
+                    # Both spellings present means one silently loses — the
+                    # classic way a sweep over the alias no-ops.  Refuse.
+                    raise ValueError(
+                        f"tier entry sets both {canonical!r} and {alias!r}: "
+                        f"{dict(value)}"
+                    )
+            if "technology" not in value:
+                raise ValueError(f"tier mapping needs a 'technology' key: {dict(value)}")
+            capacity = value.get("capacity", value.get("capacity_bytes"))
+            technology = parse_technology(value["technology"])
+            if capacity is None:
+                capacity = (
+                    0
+                    if technology is Technology.DRAM
+                    else TABLE1_SPECS[technology].capacity_bytes
+                )
+            cache = value.get("cache", value.get("cache_bytes"))
+            return cls(
+                technology=technology,
+                capacity_bytes=parse_size(capacity),
+                cache_bytes=None if cache is None else parse_size(cache),
+                num_devices=int(value.get("devices", value.get("num_devices", 1))),
+                name=str(value.get("name", "")),
+            )
+        raise ValueError(f"cannot build a TierSpec from {value!r}")
+
+
+def parse_tiers(value) -> Tuple[TierSpec, ...]:
+    """Parse an ordered tier list (fastest first) from any accepted form.
+
+    Accepts a comma-separated string (``"dram:4GiB,cxl:32GiB,nand:1TiB"``), a
+    sequence of :meth:`TierSpec.from_value` inputs, or ``None`` (empty).
+    Validates the hierarchy shape: the first tier must be fast memory (DRAM)
+    and every later tier must be device-backed.
+    """
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        entries: Sequence = [part for part in value.split(",") if part.strip()]
+    elif isinstance(value, (Mapping, TierSpec)):
+        raise ValueError(
+            "tiers must be an ordered list of tier entries, not a single "
+            f"{type(value).__name__}"
+        )
+    else:
+        try:
+            entries = list(value)
+        except TypeError:
+            raise ValueError(
+                f"tiers must be a comma string or an ordered list of tier "
+                f"entries, got {type(value).__name__}"
+            ) from None
+    specs = tuple(TierSpec.from_value(entry) for entry in entries)
+    if not specs:
+        return ()
+    if len(specs) < 2:
+        raise ValueError(
+            f"a memory hierarchy needs at least 2 tiers (fast + backing), got {len(specs)}"
+        )
+    if not specs[0].is_fast:
+        raise ValueError(
+            f"tier 0 must be fast memory (dram), got {specs[0].technology.value!r}"
+        )
+    for index, spec in enumerate(specs[1:], start=1):
+        if spec.is_fast:
+            raise ValueError(
+                f"tier {index} must be a device tier, got fast memory; "
+                f"only tier 0 is byte-addressable"
+            )
+    return specs
+
+
+@dataclass
+class TierStats:
+    """Cumulative serving statistics of one tier.
+
+    ``rows_served``/``bytes_served`` count rows whose bytes this tier
+    provided — a cache hit at this tier, a device read from this tier, or a
+    fast-memory read for rows homed on tier 0.  ``ios`` counts device reads
+    issued against this tier's storage.
+    """
+
+    cache_probes: int = 0
+    cache_hits: int = 0
+    rows_served: int = 0
+    bytes_served: int = 0
+    ios: int = 0
+    promoted_rows: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache_probes == 0:
+            return 0.0
+        return self.cache_hits / self.cache_probes
+
+    def merge(self, other: "TierStats") -> None:
+        self.cache_probes += other.cache_probes
+        self.cache_hits += other.cache_hits
+        self.rows_served += other.rows_served
+        self.bytes_served += other.bytes_served
+        self.ios += other.ios
+        self.promoted_rows += other.promoted_rows
+
+
+class MemoryTier(abc.ABC):
+    """Runtime protocol of one tier in the hierarchy.
+
+    A tier owns its capacity/latency model, an optional per-tier row cache
+    (fronting slower tiers), and cumulative :class:`TierStats`.  Device tiers
+    additionally own their block layout, devices and IO engine.
+    """
+
+    spec: TierSpec
+    stats: TierStats
+    cache: Optional[UnifiedRowCache]
+
+    @property
+    def is_fast(self) -> bool:
+        return self.spec.is_fast
+
+    @abc.abstractmethod
+    def read_rows(
+        self, table_name: str, stored_indices: Sequence[int], start_time: float
+    ) -> List[ReadResult]:
+        """Read rows homed on this tier, starting at ``start_time``."""
+
+    def probe_cache(self, key, size_hint: Optional[int] = None) -> Optional[bytes]:
+        """Probe this tier's row cache; counts towards the tier's stats."""
+        if self.cache is None:
+            return None
+        self.stats.cache_probes += 1
+        value = self.cache.get(key, size_hint=size_hint)
+        if value is not None:
+            self.stats.cache_hits += 1
+            self.stats.rows_served += 1
+            self.stats.bytes_served += len(value)
+        return value
+
+    def fill_cache(self, key, value: bytes) -> bool:
+        """Insert a row read from a slower tier into this tier's cache."""
+        if self.cache is None:
+            return False
+        admitted = self.cache.put(key, value)
+        if admitted:
+            self.stats.promoted_rows += 1
+        return admitted
+
+    def cache_hit_seconds(self, num_bytes: int) -> float:
+        """Media time to deliver a row from this tier's cache.
+
+        The probe itself (hash + lookup metadata, host-resident) is charged
+        separately by the chain; this is the cost of moving the cached bytes
+        out of the tier's own memory.  Zero for fast-memory tiers — their
+        transfer cost is folded into the host probe — and the device's
+        byte-addressable access latency plus link time for device tiers.
+        """
+        return 0.0
+
+    def clear_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = TierStats()
+        if self.cache is not None:
+            self.cache.reset_stats()
+
+    def fm_footprint_bytes(self) -> int:
+        """Fast-memory bytes this tier consumes beyond homed data."""
+        return 0
+
+    def allocated_bytes(self) -> int:
+        """Bytes of homed table data stored on this tier."""
+        return 0
+
+
+class FastTier(MemoryTier):
+    """Tier 0: byte-addressable fast memory.
+
+    Rows homed here are served straight from the in-memory model at fast-
+    memory cost; the tier's cache is the unified row cache fronting every
+    slower tier (the paper's FM row cache).
+    """
+
+    def __init__(
+        self,
+        spec: TierSpec,
+        cache: Optional[UnifiedRowCache] = None,
+        row_source: Optional[Callable[[str, int], bytes]] = None,
+    ) -> None:
+        if not spec.is_fast:
+            raise ValueError(f"FastTier needs a dram spec, got {spec.technology.value!r}")
+        self.spec = spec
+        self.cache = cache
+        self.stats = TierStats()
+        self._row_source = row_source
+
+    def read_rows(
+        self, table_name: str, stored_indices: Sequence[int], start_time: float
+    ) -> List[ReadResult]:
+        if self._row_source is None:
+            raise RuntimeError(
+                "FastTier has no row source; rows cannot be homed on it"
+            )
+        results: List[ReadResult] = []
+        for stored in stored_indices:
+            data = self._row_source(table_name, int(stored))
+            results.append(
+                ReadResult(
+                    table_name=table_name,
+                    row_index=int(stored),
+                    data=data,
+                    requested_bytes=len(data),
+                    transferred_bytes=len(data),
+                    fm_bytes_consumed=0,
+                    completion_time=start_time,
+                    latency=0.0,
+                )
+            )
+        return results
+
+    def fm_footprint_bytes(self) -> int:
+        return self.cache.capacity_bytes if self.cache is not None else 0
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One contiguous stored-row range of a table homed on a device tier."""
+
+    key: str  # layout key (equals the table name for whole-table placements)
+    start: int
+    end: int
+
+
+class DeviceTier(MemoryTier):
+    """A device-backed tier: block layout + devices + IO engine + access path.
+
+    ``device_seed_offset`` keeps device seeds globally unique across tiers
+    (tier order matches construction order), so a refactored two-tier stack
+    draws the exact same device tail-latency samples as the original.
+    """
+
+    def __init__(
+        self,
+        spec: TierSpec,
+        io_config: Optional[IOEngineConfig] = None,
+        cache_config: Optional[UnifiedCacheConfig] = None,
+        use_mmap: bool = False,
+        seed: int = 0,
+        device_seed_offset: int = 0,
+        device_spec: Optional[DeviceSpec] = None,
+        devices: Optional[Sequence[SimulatedDevice]] = None,
+    ) -> None:
+        if spec.is_fast:
+            raise ValueError("DeviceTier cannot be built from a dram spec")
+        self.spec = spec
+        self.device_seeds: List[int] = []
+        if devices is not None:
+            if not devices:
+                raise ValueError(f"tier {spec.name!r}: prebuilt device list is empty")
+            self.devices = list(devices)
+            self.device_spec = self.devices[0].spec
+        else:
+            base_spec = (
+                device_spec if device_spec is not None else TABLE1_SPECS[spec.technology]
+            )
+            per_device = spec.capacity_bytes // spec.num_devices
+            if per_device <= 0:
+                raise ValueError(
+                    f"tier {spec.name!r}: capacity {spec.capacity_bytes} too small for "
+                    f"{spec.num_devices} device(s)"
+                )
+            self.device_spec = base_spec.with_capacity(per_device)
+            self.device_seeds = [
+                seed + device_seed_offset + index for index in range(spec.num_devices)
+            ]
+            self.devices = [
+                SimulatedDevice(self.device_spec, seed=device_seed)
+                for device_seed in self.device_seeds
+            ]
+        self.layout = BlockLayout([d.spec.capacity_bytes for d in self.devices])
+        self.io_engine = IOEngine(self.devices, io_config)
+        self.access_path: AccessPath = (
+            MmapReader(self.io_engine, self.layout)
+            if use_mmap
+            else DirectIOReader(self.io_engine, self.layout)
+        )
+        self.cache = (
+            UnifiedRowCache(cache_config)
+            if cache_config is not None and spec.cache_bytes
+            else None
+        )
+        self.stats = TierStats()
+        self._segments: Dict[str, List[_Segment]] = {}
+        self._row_bytes: Dict[str, int] = {}
+
+    # -------------------------------------------------------------- loading
+    def add_segment(
+        self,
+        table_name: str,
+        start: int,
+        end: int,
+        row_bytes: int,
+        row_source: Callable[[int], bytes],
+        whole_table: bool = False,
+    ) -> None:
+        """Allocate and write stored rows ``[start, end)`` of a table.
+
+        ``row_source`` maps a stored index to its serialized bytes.  Whole-
+        table segments keep the bare table name as layout key so per-table
+        outstanding-IO limits and legacy layouts are unchanged.
+        """
+        if end <= start:
+            raise ValueError(f"segment [{start}, {end}) of {table_name!r} is empty")
+        key = table_name if whole_table else f"{table_name}@{start}"
+        segment = _Segment(key=key, start=start, end=end)
+        self._segments.setdefault(table_name, []).append(segment)
+        self._row_bytes[table_name] = row_bytes
+        extent = self.layout.add_table(key, end - start, row_bytes)
+        device = self.devices[extent.device_index]
+        rows_per_block = extent.rows_per_block
+        num_rows = end - start
+        for block_offset in range(extent.num_blocks):
+            buffer = bytearray(BLOCK_SIZE)
+            first_row = block_offset * rows_per_block
+            for slot in range(rows_per_block):
+                local_row = first_row + slot
+                if local_row >= num_rows:
+                    break
+                row = row_source(start + local_row)
+                offset = slot * row_bytes
+                buffer[offset : offset + len(row)] = row
+            device.write_block(extent.first_lba + block_offset, bytes(buffer))
+
+    def has_table(self, table_name: str) -> bool:
+        return table_name in self._segments
+
+    def _resolve(self, table_name: str, stored_index: int) -> Tuple[str, int]:
+        """(layout key, local row) of one stored row on this tier."""
+        for segment in self._segments.get(table_name, ()):
+            if segment.start <= stored_index < segment.end:
+                return segment.key, stored_index - segment.start
+        raise KeyError(
+            f"stored row {stored_index} of table {table_name!r} is not homed on "
+            f"tier {self.spec.name!r}"
+        )
+
+    # -------------------------------------------------------------- serving
+    def read_rows(
+        self, table_name: str, stored_indices: Sequence[int], start_time: float
+    ) -> List[ReadResult]:
+        """Read rows from this tier's devices, preserving input order."""
+        by_key: Dict[str, List[Tuple[int, int]]] = {}
+        for position, stored in enumerate(stored_indices):
+            key, local = self._resolve(table_name, int(stored))
+            by_key.setdefault(key, []).append((position, local))
+        results: List[Optional[ReadResult]] = [None] * len(stored_indices)
+        for key, entries in by_key.items():
+            reads = self.access_path.read_rows(
+                key, [local for _, local in entries], start_time
+            )
+            for (position, _), read in zip(entries, reads):
+                results[position] = read
+        completed = [read for read in results if read is not None]
+        self.stats.ios += len(completed)
+        self.stats.rows_served += len(completed)
+        self.stats.bytes_served += sum(len(read.data) for read in completed)
+        return completed
+
+    def cache_hit_seconds(self, num_bytes: int) -> float:
+        # A row cached in this tier's memory still crosses the tier's media:
+        # one byte-addressable access latency plus the link transfer.  Without
+        # this, a CXL-resident cache would serve at DRAM speed while billed
+        # at CXL cost.
+        return (
+            self.device_spec.base_read_latency
+            + num_bytes / self.device_spec.read_bus_bandwidth
+        )
+
+    # ----------------------------------------------------------- accounting
+    def fm_footprint_bytes(self) -> int:
+        # A device tier's row cache lives in its own (cheap) memory; only the
+        # access path's page cache competes for fast memory.
+        return self.access_path.fm_footprint_bytes()
+
+    def allocated_bytes(self) -> int:
+        return self.layout.total_allocated_bytes()
+
+    def device_stats(self) -> DeviceStats:
+        merged = DeviceStats()
+        for device in self.devices:
+            merged.merge(device.stats)
+        return merged
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.io_engine.reset_stats()
+        for device in self.devices:
+            device.reset_stats()
+
+
+#: Promotion policies for rows read from slower tiers (see TierChain).
+PROMOTION_POLICIES = ("top", "all", "none")
+
+
+def build_tiers(
+    specs: Sequence[TierSpec],
+    *,
+    io_config: Optional[IOEngineConfig] = None,
+    fast_cache: Optional[UnifiedRowCache] = None,
+    device_cache_config: Callable[[TierSpec], Optional[UnifiedCacheConfig]] = lambda spec: None,
+    use_mmap: bool = False,
+    seed: int = 0,
+    fast_row_source: Optional[Callable[[str, int], bytes]] = None,
+    first_device_tier_devices: Optional[Sequence[SimulatedDevice]] = None,
+) -> List[MemoryTier]:
+    """Materialise runtime tiers from an ordered spec list (fastest first).
+
+    Device seeds are offset by the running device count so every device in
+    the hierarchy draws an independent (but reproducible) latency stream.
+    ``first_device_tier_devices`` substitutes prebuilt devices for the first
+    device tier (the legacy ``SoftwareDefinedMemory(devices=...)`` hook).
+    """
+    specs = parse_tiers(specs)
+    tiers: List[MemoryTier] = []
+    device_seed_offset = 0
+    first_device_tier = True
+    for spec in specs:
+        if spec.is_fast:
+            tiers.append(FastTier(spec, cache=fast_cache, row_source=fast_row_source))
+            continue
+        tiers.append(
+            DeviceTier(
+                spec,
+                io_config=io_config,
+                cache_config=device_cache_config(spec),
+                use_mmap=use_mmap,
+                seed=seed,
+                device_seed_offset=device_seed_offset,
+                devices=first_device_tier_devices if first_device_tier else None,
+            )
+        )
+        first_device_tier = False
+        device_seed_offset += spec.num_devices
+    return tiers

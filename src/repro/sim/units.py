@@ -45,6 +45,60 @@ def format_bytes(num_bytes: float) -> str:
     raise AssertionError("unreachable")
 
 
+#: Suffix -> multiplier table used by :func:`parse_size`.
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": TIB,
+}
+
+
+def parse_size(text) -> int:
+    """Parse a byte count: a plain integer or a string like ``"4GiB"``.
+
+    Accepts decimal (KB/MB/GB/TB) and binary (KiB/MiB/GiB/TiB) suffixes,
+    case-insensitively and with optional whitespace before the suffix, so tier
+    geometries can be written the way vendors quote them (``"2TB"``) or the
+    way allocators think (``"8MiB"``).
+
+    >>> parse_size("4KiB")
+    4096
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, bool):
+        raise ValueError(f"not a byte size: {text!r}")
+    if isinstance(text, int):
+        return text
+    if isinstance(text, float):
+        if not text.is_integer():
+            raise ValueError(f"byte sizes must be whole numbers: {text!r}")
+        return int(text)
+    if not isinstance(text, str):
+        raise ValueError(f"not a byte size: {text!r}")
+    stripped = text.strip().lower()
+    for suffix, multiplier in sorted(_SIZE_SUFFIXES.items(), key=lambda kv: -len(kv[0])):
+        if stripped.endswith(suffix):
+            number = stripped[: -len(suffix)].strip()
+            try:
+                return int(float(number) * multiplier)
+            except ValueError:
+                break
+    try:
+        return int(stripped)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse byte size {text!r}; use an integer or a string like "
+            f"'512MiB', '4GiB', '2TB'"
+        ) from None
+
+
 def format_time(seconds: float) -> str:
     """Render a duration with the most natural unit.
 

@@ -1,9 +1,11 @@
-"""Tests for placement policies (Table 5)."""
+"""Tests for placement policies (Table 5) and placement edge cases."""
 
+import numpy as np
 import pytest
 
-from repro.core import PlacementPolicy, Tier, compute_placement
-from repro.dlrm import EmbeddingTableSpec
+from repro.core import PlacementPolicy, SoftwareDefinedMemory, Tier, compute_placement
+from repro.dlrm import EmbeddingTableSpec, prune_table
+from repro.hierarchy import compute_tiered_placement, parse_tiers
 
 
 def _specs():
@@ -136,3 +138,83 @@ class TestPinnedTablesAndValidation:
     def test_policy_accepts_string_value(self):
         placement = compute_placement(_specs(), "fixed_fm_sm")
         assert isinstance(placement.sm_tables(), list)
+
+
+class TestPlacementEdgeCases:
+    """Edge geometries: zero FM budget, oversized tables, all-pruned rows."""
+
+    def test_zero_fm_budget_sends_every_user_table_to_sm(self):
+        for policy in PlacementPolicy:
+            placement = compute_placement(_specs(), policy, dram_budget_bytes=0)
+            assert set(placement.sm_tables()) == {"user_hot", "user_cold_big"}, policy
+        tiered = compute_tiered_placement(_specs(), parse_tiers("dram:0,nand:64MiB"))
+        assert set(tiered.sm_tables()) == {"user_hot", "user_cold_big"}
+        assert tiered.for_table("item_a").home_tier == 0
+
+    def test_negative_budget_rejected_and_tiny_budget_pins_nothing(self):
+        from repro.core import SDMConfig
+        from repro.hierarchy import TierSpec
+        from repro.storage.spec import Technology
+
+        with pytest.raises(ValueError, match="dram_budget_bytes"):
+            SDMConfig(dram_budget_bytes=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            TierSpec(technology=Technology.DRAM, capacity_bytes=-4096)
+        specs = _specs()
+        smallest = min(s.size_bytes for s in specs if s.is_user)
+        placement = compute_placement(
+            specs, PlacementPolicy.FIXED_FM_SM, dram_budget_bytes=smallest - 1
+        )
+        user_fm = [
+            name for name in placement.fm_tables()
+            if name in ("user_hot", "user_cold_big")
+        ]
+        assert user_fm == []
+
+    def test_table_larger_than_every_tier_combined_rejected(self):
+        specs = _specs()
+        total = sum(s.size_bytes for s in specs if s.is_user)
+        tiers = parse_tiers(
+            [
+                {"technology": "dram", "capacity": 0},
+                {"technology": "cxl", "capacity": 4096},
+                {"technology": "nand", "capacity": 4096},
+            ]
+        )
+        with pytest.raises(ValueError, match="does not fit"):
+            compute_tiered_placement(specs, tiers)
+        with pytest.raises(ValueError, match="does not fit"):
+            compute_tiered_placement(specs, tiers, granularity="rows")
+        assert total > 8192  # the rejection was about capacity, not vacuous
+
+    def test_sm_layout_overflow_surfaces_as_value_error(self):
+        """A device tier too small for the placed tables fails loudly at
+        load time, not silently at serve time."""
+        from helpers import small_model, small_sdm_config
+
+        model = small_model(num_user=4, num_item=0)
+        with pytest.raises(ValueError, match="free blocks|does not fit"):
+            SoftwareDefinedMemory(
+                model,
+                small_sdm_config(tiers="dram:0,nand:8KiB"),
+            )
+
+    def test_all_pruned_request_serves_zeros_without_io(self):
+        from helpers import small_model, small_sdm_config
+
+        model = small_model(num_user=1, num_item=0)
+        pruned = {"user_0": prune_table(model.table("user_0"), 0.9, seed=3)}
+        sdm = SoftwareDefinedMemory(
+            model,
+            small_sdm_config(pooled_cache_enabled=False),
+            pruned_tables=pruned,
+        )
+        mapping = pruned["user_0"].mapping
+        pruned_rows = np.nonzero(mapping == -1)[0][:8].tolist()
+        pooled, done = sdm.pooled_embeddings({"user_0": pruned_rows}, 0.0)
+        np.testing.assert_array_equal(
+            pooled["user_0"], np.zeros_like(pooled["user_0"])
+        )
+        assert sdm.stats.sm_ios == 0
+        assert sdm.stats.pruned_rows_skipped == len(pruned_rows)
+        assert done > 0.0  # the mapping lookups still cost host time

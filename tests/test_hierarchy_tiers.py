@@ -1,0 +1,214 @@
+"""Tests for tier specs, parsing and the runtime tier objects."""
+
+import pytest
+
+from repro.hierarchy import (
+    DeviceTier,
+    FastTier,
+    TierSpec,
+    TierStats,
+    build_tiers,
+    parse_technology,
+    parse_tiers,
+)
+from repro.sim.units import GIB, KIB, MIB, TB, parse_size
+from repro.storage.spec import TABLE1_SPECS, Technology
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("512", 512),
+            (4096, 4096),
+            ("4KiB", 4 * KIB),
+            ("8 MiB", 8 * MIB),
+            ("1gib", GIB),
+            ("2TB", 2 * TB),
+            ("1.5KiB", 1536),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "huge", "4XB", None, True, 1.5])
+    def test_rejected_forms(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+
+class TestParseTechnology:
+    def test_aliases(self):
+        assert parse_technology("nand") is Technology.NAND_FLASH
+        assert parse_technology("cxl") is Technology.CXL_3DXP
+        assert parse_technology("dram") is Technology.DRAM
+
+    def test_enum_value_and_name(self):
+        assert parse_technology("pcie_zssd") is Technology.ZSSD
+        assert parse_technology("OPTANE_SSD") is Technology.OPTANE_SSD
+        assert parse_technology(Technology.DIMM_3DXP) is Technology.DIMM_3DXP
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown memory technology"):
+            parse_technology("hdd")
+
+
+class TestTierSpec:
+    def test_from_string(self):
+        spec = TierSpec.from_value("cxl:32GiB")
+        assert spec.technology is Technology.CXL_3DXP
+        assert spec.capacity_bytes == 32 * GIB
+        assert spec.cache_bytes is None
+
+    def test_from_string_with_cache(self):
+        spec = TierSpec.from_value("nand:1TB:8MiB")
+        assert spec.capacity_bytes == 1 * TB
+        assert spec.cache_bytes == 8 * MIB
+
+    def test_from_mapping(self):
+        spec = TierSpec.from_value(
+            {"technology": "optane", "capacity": "400GB", "cache": 4096, "devices": 2}
+        )
+        assert spec.technology is Technology.OPTANE_SSD
+        assert spec.num_devices == 2
+        assert spec.cache_bytes == 4096
+
+    def test_mapping_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier keys"):
+            TierSpec.from_value({"technology": "nand", "iops": 5})
+
+    def test_conflicting_alias_keys_rejected(self):
+        # Both spellings present would make a sweep over the alias silently
+        # no-op (the canonical key wins) — it must be an error instead.
+        with pytest.raises(ValueError, match="both 'capacity'"):
+            TierSpec.from_value(
+                {"technology": "nand", "capacity": "1GiB", "capacity_bytes": "2GiB"}
+            )
+        with pytest.raises(ValueError, match="both 'cache'"):
+            TierSpec.from_value(
+                {"technology": "nand", "capacity": "1GiB", "cache": 1, "cache_bytes": 2}
+            )
+
+    def test_bare_technology_uses_table1_capacity(self):
+        spec = TierSpec.from_value("zssd")
+        assert spec.capacity_bytes == TABLE1_SPECS[Technology.ZSSD].capacity_bytes
+
+    def test_empty_capacity_segment_keeps_its_slot(self):
+        # "dram::64KiB" = default (zero) budget with a 64KiB cache; the cache
+        # value must not silently shift into the capacity slot.
+        spec = TierSpec.from_value("dram::64KiB")
+        assert spec.capacity_bytes == 0
+        assert spec.cache_bytes == 64 * KIB
+        nand = TierSpec.from_value("nand::8MiB")
+        assert nand.capacity_bytes == TABLE1_SPECS[Technology.NAND_FLASH].capacity_bytes
+        assert nand.cache_bytes == 8 * MIB
+        with pytest.raises(ValueError, match="tier string"):
+            TierSpec.from_value(":1GiB")
+
+    def test_device_tier_needs_capacity(self):
+        with pytest.raises(ValueError, match="positive capacity"):
+            TierSpec(technology=Technology.NAND_FLASH, capacity_bytes=0)
+
+    def test_fast_tier_allows_zero_capacity(self):
+        assert TierSpec(technology=Technology.DRAM, capacity_bytes=0).is_fast
+
+    def test_round_trips_through_dict(self):
+        spec = TierSpec.from_value("cxl:1GiB:4MiB")
+        assert TierSpec.from_value(spec.to_dict()) == spec
+
+
+class TestParseTiers:
+    def test_comma_string(self):
+        tiers = parse_tiers("dram:4GiB,cxl:32GiB,nand:1TiB")
+        assert [t.technology for t in tiers] == [
+            Technology.DRAM,
+            Technology.CXL_3DXP,
+            Technology.NAND_FLASH,
+        ]
+        assert tiers[0].is_fast and not tiers[1].is_fast
+
+    def test_list_of_mixed_entries(self):
+        tiers = parse_tiers(
+            ["dram:1MiB", {"technology": "nand", "capacity": "1GiB"}]
+        )
+        assert len(tiers) == 2
+
+    def test_tier0_must_be_fast(self):
+        with pytest.raises(ValueError, match="tier 0 must be fast memory"):
+            parse_tiers("nand:1TiB,dram:4GiB")
+
+    def test_later_tiers_must_be_devices(self):
+        with pytest.raises(ValueError, match="must be a device tier"):
+            parse_tiers("dram:4GiB,dram:8GiB")
+
+    def test_single_tier_rejected(self):
+        with pytest.raises(ValueError, match="at least 2 tiers"):
+            parse_tiers("dram:4GiB")
+
+    def test_none_is_empty(self):
+        assert parse_tiers(None) == ()
+
+
+class TestRuntimeTiers:
+    def test_build_tiers_unique_device_seeds(self):
+        tiers = build_tiers(
+            parse_tiers("dram:1MiB,cxl:64MiB,nand:1GiB"), seed=7
+        )
+        assert isinstance(tiers[0], FastTier)
+        assert all(isinstance(t, DeviceTier) for t in tiers[1:])
+        seeds = [seed for t in tiers[1:] for seed in t.device_seeds]
+        assert len(seeds) == len(set(seeds))
+
+    def test_device_capacity_split_across_devices(self):
+        spec = TierSpec.from_value({"technology": "nand", "capacity": 8 * MIB, "devices": 2})
+        tier = DeviceTier(spec)
+        assert len(tier.devices) == 2
+        assert all(d.spec.capacity_bytes == 4 * MIB for d in tier.devices)
+
+    def test_segment_read_round_trip(self):
+        spec = TierSpec.from_value("nand:1MiB")
+        tier = DeviceTier(spec)
+        rows = {i: bytes([i % 256] * 64) for i in range(100)}
+        tier.add_segment("t", 0, 100, 64, row_source=lambda s: rows[s], whole_table=True)
+        reads = tier.read_rows("t", [3, 97, 11], start_time=0.0)
+        assert [r.data for r in reads] == [rows[3], rows[97], rows[11]]
+        assert tier.stats.ios == 3
+        assert tier.stats.bytes_served == 3 * 64
+
+    def test_multi_segment_resolution(self):
+        spec = TierSpec.from_value("nand:1MiB")
+        tier = DeviceTier(spec)
+        tier.add_segment("t", 100, 200, 64, row_source=lambda s: bytes([1] * 64))
+        tier.add_segment("t", 300, 350, 64, row_source=lambda s: bytes([2] * 64))
+        reads = tier.read_rows("t", [150, 320], start_time=0.0)
+        assert reads[0].data[0] == 1
+        assert reads[1].data[0] == 2
+        with pytest.raises(KeyError):
+            tier.read_rows("t", [250], start_time=0.0)
+
+    def test_cost_model(self):
+        from repro.hierarchy import cost_factor, memory_cost_dram_gb, pareto_frontier
+        from repro.sim.units import GB
+
+        assert cost_factor("dram") == 1.0
+        assert cost_factor("pcie_nand_flash") == pytest.approx(1 / 30)
+        with pytest.raises(KeyError, match="no cost factor"):
+            cost_factor("hdd")
+        tiers = [
+            {"technology": "dram", "data_bytes": GB, "cache_capacity_bytes": 0},
+            {"technology": "pcie_nand_flash", "data_bytes": 30 * GB,
+             "cache_capacity_bytes": 0},
+        ]
+        assert memory_cost_dram_gb(tiers) == pytest.approx(2.0)
+        points = [("a", 1.0, 5.0), ("b", 2.0, 1.0), ("c", 3.0, 3.0)]
+        frontier = pareto_frontier(
+            points, cost=lambda p: p[1], latency=lambda p: p[2]
+        )
+        assert [p[0] for p in frontier] == ["a", "b"]  # c dominated by b
+
+    def test_tier_stats_merge(self):
+        a = TierStats(cache_probes=4, cache_hits=2, rows_served=3, bytes_served=10, ios=1)
+        b = TierStats(cache_probes=6, cache_hits=1)
+        a.merge(b)
+        assert a.cache_probes == 10 and a.cache_hits == 3
+        assert a.cache_hit_rate == pytest.approx(0.3)
