@@ -13,7 +13,7 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.sim.units import BLOCK_SIZE
+from repro.sim.units import BLOCK_SIZE, GIB
 from repro.storage.block_layout import BlockLayout
 from repro.storage.io_engine import IOEngine, IORequest
 
@@ -102,7 +102,7 @@ class MmapReader(AccessPath):
         engine: IOEngine,
         layout: BlockLayout,
         latency_factor: float = 3.0,
-        page_cache_capacity_bytes: int = 1 << 30,
+        page_cache_capacity_bytes: int = GIB,
     ) -> None:
         if latency_factor < 1.0:
             raise ValueError(f"latency_factor must be >= 1.0: {latency_factor}")
