@@ -87,7 +87,7 @@ class TieredTablePlacement:
                     f"table {self.table_name!r}: rank_order must have one entry per "
                     f"row ({cursor}), got shape {order.shape}"
                 )
-            object.__setattr__(self, "rank_order", order)
+            self.rank_order = order
 
     @property
     def num_rows(self) -> int:
