@@ -15,7 +15,9 @@ from repro.api.spec import (
     ServingChoice,
     TrafficSpec,
     WorkloadChoice,
+    iter_spec_paths,
     model_spec_by_name,
+    spec_path_error,
 )
 from repro.api.registry import (
     BackendFactory,
@@ -33,6 +35,8 @@ from repro.api.results import (
     ScenarioResult,
     SweepPoint,
     campaign_table,
+    metric_path_error,
+    scenario_metric_error,
     scenario_metrics,
     sweep_table,
 )
@@ -47,6 +51,10 @@ __all__ = [
     "TrafficSpec",
     "ServingChoice",
     "model_spec_by_name",
+    "iter_spec_paths",
+    "spec_path_error",
+    "metric_path_error",
+    "scenario_metric_error",
     "Session",
     "ScenarioResult",
     "PowerSummary",

@@ -16,6 +16,7 @@ Subcommands::
         --grid serving.concurrency=1,2 --parallel 4 --out runs/demo
     python -m repro campaign --out runs/demo --resume ...   # skip done points
     python -m repro compare runs/baseline runs/demo
+    python -m repro lint src examples benchmarks
     python -m repro list-backends
 
 Output is either the :mod:`repro.analysis.reporting` table format (default)
@@ -36,6 +37,7 @@ from repro.api.results import campaign_table, scenario_metrics, sweep_table
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec
 from repro.hierarchy import TECHNOLOGY_ALIASES, parse_tiers
+from repro.lint.cli import add_lint_parser
 from repro.sim.units import MICROSECOND, format_bytes
 from repro.storage.spec import TABLE1_SPECS
 from repro.runtime import (
@@ -145,7 +147,7 @@ _SCENARIO_PATHS = {
 
 def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
     if args.spec:
-        with open(args.spec, "r", encoding="utf-8") as handle:
+        with open(args.spec, encoding="utf-8") as handle:
             spec = ScenarioSpec.from_dict(json.load(handle))
     else:
         spec = ScenarioSpec()
@@ -509,6 +511,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     devices_parser.add_argument("--json", action="store_true", help="emit JSON")
     devices_parser.set_defaults(handler=_cmd_list_devices)
+
+    add_lint_parser(subparsers)
 
     return parser
 

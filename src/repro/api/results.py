@@ -180,13 +180,115 @@ def scenario_metrics() -> List[str]:
     return sorted(f.name for f in dataclasses.fields(ScenarioResult))
 
 
+#: Percentile sub-keys under ``latency_seconds`` and ``queueing_seconds``.
+PERCENTILE_KEYS: Tuple[str, ...] = ("mean", "p50", "p95", "p99")
+
+
+def result_dict_keys() -> Tuple[str, ...]:
+    """Top-level keys of :meth:`ScenarioResult.to_dict` (the stored form).
+
+    These are the first segments of the dotted metric paths
+    :class:`~repro.runtime.compare.MetricSpec` addresses; a test pins them
+    against an actual ``to_dict`` so they cannot drift from the schema.
+    """
+    return (
+        "scenario",
+        "backend",
+        "num_queries",
+        "concurrency",
+        "makespan_seconds",
+        "achieved_qps",
+        "latency_seconds",
+        "meets_slo",
+        "slo_headroom",
+        "backend_stats",
+        "power",
+        "traffic_mode",
+        "offered_qps",
+        "dropped_queries",
+        "queueing_seconds",
+        "tiers",
+    )
+
+
+def scenario_metric_error(metric: str) -> Optional[str]:
+    """Validate a :class:`ScenarioResult` *field* name (table metrics).
+
+    Returns ``None`` for a valid field, an error message otherwise.  The
+    message is what :func:`sweep_table` / :func:`campaign_table` raise and
+    what the ``repro lint`` METRIC001 rule reports.
+    """
+    if metric in {f.name for f in dataclasses.fields(ScenarioResult)}:
+        return None
+    return (
+        f"unknown metric {metric!r}; valid ScenarioResult metrics: "
+        f"{scenario_metrics()}"
+    )
+
+
+def metric_path_error(path: str) -> Optional[str]:
+    """Validate a dotted *result-dict* metric path (``"latency_seconds.p99"``).
+
+    These are the paths ``repro compare`` / :func:`repro.runtime.compare_runs`
+    look up inside stored :meth:`ScenarioResult.to_dict` records.  Returns
+    ``None`` when the path is addressable, an error message otherwise.
+    ``backend_stats.*`` and ``power.*`` leaves are backend/platform defined,
+    so only their first segment is checked.
+    """
+    parts = path.split(".")
+    if any(not part for part in parts):
+        return f"metric path {path!r} has an empty segment"
+    head = parts[0]
+    if head not in result_dict_keys():
+        return (
+            f"unknown metric path {path!r}; result keys: "
+            f"{sorted(result_dict_keys())}"
+        )
+    if head in ("latency_seconds", "queueing_seconds"):
+        if len(parts) == 1:
+            return (
+                f"metric path {path!r} needs a percentile sub-key, e.g. "
+                f"{head}.p99; choices: {list(PERCENTILE_KEYS)}"
+            )
+        if parts[1] not in PERCENTILE_KEYS:
+            return (
+                f"metric path {path!r}: unknown percentile {parts[1]!r}; "
+                f"choices: {list(PERCENTILE_KEYS)}"
+            )
+        if len(parts) > 2:
+            return f"metric path {path!r} descends below a scalar percentile"
+        return None
+    if head == "power":
+        if len(parts) == 1:
+            return None
+        power_fields = {f.name for f in dataclasses.fields(PowerSummary)}
+        if parts[1] not in power_fields:
+            return (
+                f"metric path {path!r}: PowerSummary has no field {parts[1]!r}; "
+                f"valid fields: {sorted(power_fields)}"
+            )
+        if len(parts) > 2:
+            return f"metric path {path!r} descends below a scalar power field"
+        return None
+    if head == "backend_stats":
+        if len(parts) > 2:
+            return f"metric path {path!r} descends below a scalar backend stat"
+        return None
+    if head == "tiers":
+        return (
+            f"metric path {path!r}: per-tier stats are a list and not "
+            f"addressable by compare metrics"
+        )
+    if len(parts) > 1:
+        return f"metric path {path!r} descends below the scalar key {head!r}"
+    return None
+
+
 def _metric_value(result: ScenarioResult, metric: str) -> Any:
     """``getattr`` with a typo-friendly error listing the valid metrics."""
-    if metric not in {f.name for f in dataclasses.fields(ScenarioResult)}:
-        raise ValueError(
-            f"unknown metric {metric!r}; valid ScenarioResult metrics: "
-            f"{scenario_metrics()}"
-        )
+    error = scenario_metric_error(metric)
+    if error is not None:
+        raise ValueError(error)
     return getattr(result, metric)
 
 

@@ -15,7 +15,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.dlrm.model_config import ALL_MODEL_SPECS, ModelSpec, figure1_model_spec
 from repro.serving.latency import LatencyTarget
@@ -192,6 +192,97 @@ _SECTION_TYPES = {
 OPEN_LOOP_ONLY_PARAMS = frozenset(
     {"traffic.offered_qps", "traffic.queue_depth", "traffic.arrival", "traffic.trace"}
 )
+
+
+def section_fields(section: str) -> Tuple[str, ...]:
+    """The field names of one spec section (``"serving"`` → its dataclass fields)."""
+    if section not in _SECTION_TYPES:
+        raise ValueError(
+            f"unknown spec section {section!r}; sections: {sorted(_SECTION_TYPES)}"
+        )
+    return tuple(f.name for f in dataclasses.fields(_SECTION_TYPES[section]))
+
+
+def iter_spec_paths() -> Iterator[str]:
+    """Every closed-form dotted path :meth:`ScenarioSpec.replace` accepts.
+
+    Yields ``"name"``, each section name, and every ``section.field`` pair.
+    ``backend.options.*`` (and the ``tiers....`` shorthand into it) is
+    open-ended — backend factories define their own option names — so those
+    paths validate structurally via :func:`spec_path_error` instead of being
+    enumerable here.
+    """
+    yield "name"
+    for section in _SECTION_TYPES:
+        yield section
+        for name in section_fields(section):
+            yield f"{section}.{name}"
+
+
+def spec_path_error(path: str) -> Optional[str]:
+    """Statically validate a dotted spec path against the schema.
+
+    Returns ``None`` when ``path`` is a structurally valid
+    :meth:`ScenarioSpec.replace` / :meth:`Session.sweep` / campaign-grid
+    address, and a human-readable error message otherwise.  This is the
+    introspection hook the ``repro lint`` SPEC001 rule (and any external
+    tooling) checks spec-path strings against without building a spec.
+
+    Backend options below ``backend.options`` are free-form (each backend
+    factory defines its own), so only their *structured* sub-schemas — the
+    ``tiers`` list — are validated in depth.
+    """
+    parts = path.split(".")
+    if any(not part for part in parts):
+        return f"spec path {path!r} has an empty segment"
+    if parts[0] == "tiers":
+        parts = ["backend", "options"] + parts
+    if parts == ["name"]:
+        return None
+    if parts[0] not in _SECTION_TYPES:
+        return (
+            f"unknown spec path {path!r}; top-level keys: "
+            f"{['name', 'tiers'] + sorted(_SECTION_TYPES)}"
+        )
+    if len(parts) == 1:
+        return None
+    section_type = _SECTION_TYPES[parts[0]]
+    fields = set(section_fields(parts[0]))
+    if parts[1] not in fields:
+        return (
+            f"{section_type.__name__} has no field {parts[1]!r} "
+            f"(path {path!r}); valid fields: {sorted(fields)}"
+        )
+    if parts[0] == "backend" and parts[1] == "options":
+        if len(parts) >= 4 and parts[2] == "tiers":
+            rest = parts[3:]
+            try:
+                int(rest[0])
+            except ValueError:
+                return (
+                    f"spec path {path!r}: expected a tier index after 'tiers', "
+                    f"got {rest[0]!r}"
+                )
+            if len(rest) >= 2:
+                from repro.hierarchy.tier import TIER_ENTRY_KEYS
+
+                if rest[1] not in TIER_ENTRY_KEYS:
+                    return (
+                        f"spec path {path!r}: unknown tier key {rest[1]!r}; "
+                        f"valid keys: {sorted(TIER_ENTRY_KEYS)}"
+                    )
+                if len(rest) > 2:
+                    return (
+                        f"spec path {path!r}: tier key {rest[1]!r} is a scalar "
+                        f"and takes no sub-path"
+                    )
+        return None
+    if len(parts) > 2:
+        return (
+            f"spec path {path!r} descends below {parts[0]}.{parts[1]}, "
+            f"which is a scalar field"
+        )
+    return None
 
 
 def coord_label(value: Any) -> Any:

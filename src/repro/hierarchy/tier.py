@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.cache.base import CacheKey
 from repro.cache.unified import UnifiedCacheConfig, UnifiedRowCache
 from repro.sim.units import BLOCK_SIZE, parse_size
 from repro.storage.access import AccessPath, DirectIOReader, MmapReader, ReadResult
@@ -36,6 +37,21 @@ from repro.storage.block_layout import BlockLayout
 from repro.storage.device import DeviceStats, SimulatedDevice
 from repro.storage.io_engine import IOEngine, IOEngineConfig
 from repro.storage.spec import TABLE1_SPECS, DeviceSpec, Technology
+
+#: Keys a tier *entry* mapping may carry (``TierSpec.from_value`` input and
+#: the addressable leaves of ``backend.options.tiers.N.<key>`` spec paths).
+TIER_ENTRY_KEYS = frozenset(
+    {
+        "technology",
+        "capacity",
+        "capacity_bytes",
+        "cache",
+        "cache_bytes",
+        "devices",
+        "num_devices",
+        "name",
+    }
+)
 
 #: Short, CLI-friendly aliases for the Table 1 technologies.
 TECHNOLOGY_ALIASES: Dict[str, Technology] = {
@@ -144,7 +160,7 @@ class TierSpec:
         return data
 
     @classmethod
-    def from_value(cls, value: Union["TierSpec", str, Mapping]) -> "TierSpec":
+    def from_value(cls, value: Union["TierSpec", str, Mapping[str, Any]]) -> "TierSpec":
         """Build a spec from an instance, a ``tech:capacity[:cache]`` string,
         or a mapping with ``technology``/``capacity``/``cache``/``devices``."""
         if isinstance(value, TierSpec):
@@ -176,11 +192,11 @@ class TierSpec:
                 cache_bytes=cache,
             )
         if isinstance(value, Mapping):
-            known = {"technology", "capacity", "capacity_bytes", "cache", "cache_bytes", "devices", "num_devices", "name"}
-            unknown = set(value) - known
+            unknown = set(value) - TIER_ENTRY_KEYS
             if unknown:
                 raise ValueError(
-                    f"unknown tier keys {sorted(unknown)}; valid keys: {sorted(known)}"
+                    f"unknown tier keys {sorted(unknown)}; valid keys: "
+                    f"{sorted(TIER_ENTRY_KEYS)}"
                 )
             for canonical, alias in (
                 ("capacity", "capacity_bytes"),
@@ -215,7 +231,9 @@ class TierSpec:
         raise ValueError(f"cannot build a TierSpec from {value!r}")
 
 
-def parse_tiers(value) -> Tuple[TierSpec, ...]:
+def parse_tiers(
+    value: Union[None, str, TierSpec, Mapping[str, Any], Iterable[Any]],
+) -> Tuple[TierSpec, ...]:
     """Parse an ordered tier list (fastest first) from any accepted form.
 
     Accepts a comma-separated string (``"dram:4GiB,cxl:32GiB,nand:1TiB"``), a
@@ -226,7 +244,7 @@ def parse_tiers(value) -> Tuple[TierSpec, ...]:
     if value is None:
         return ()
     if isinstance(value, str):
-        entries: Sequence = [part for part in value.split(",") if part.strip()]
+        entries: Sequence[Any] = [part for part in value.split(",") if part.strip()]
     elif isinstance(value, (Mapping, TierSpec)):
         raise ValueError(
             "tiers must be an ordered list of tier entries, not a single "
@@ -314,7 +332,7 @@ class MemoryTier(abc.ABC):
     ) -> List[ReadResult]:
         """Read rows homed on this tier, starting at ``start_time``."""
 
-    def probe_cache(self, key, size_hint: Optional[int] = None) -> Optional[bytes]:
+    def probe_cache(self, key: CacheKey, size_hint: Optional[int] = None) -> Optional[bytes]:
         """Probe this tier's row cache; counts towards the tier's stats."""
         if self.cache is None:
             return None
@@ -326,7 +344,7 @@ class MemoryTier(abc.ABC):
             self.stats.bytes_served += len(value)
         return value
 
-    def fill_cache(self, key, value: bytes) -> bool:
+    def fill_cache(self, key: CacheKey, value: bytes) -> bool:
         """Insert a row read from a slower tier into this tier's cache."""
         if self.cache is None:
             return False

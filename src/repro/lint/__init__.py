@@ -1,0 +1,42 @@
+"""Domain-specific static analysis for the SDM reproduction.
+
+The simulator's correctness rests on invariants no general-purpose linter
+knows about: *all* time is simulated (``sim.clock``/``sim.events``), *all*
+randomness is seeded (``sim.rng.make_rng``), byte sizes go through
+``sim.units``, dotted spec paths and metric names must resolve against the
+live ``ScenarioSpec``/``ScenarioResult`` schema, frozen specs stay frozen,
+and campaign workers must pickle.  :mod:`repro.lint` checks each of these as
+an AST rule — run ``python -m repro lint`` or see ``--list-rules``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import filter_baselined, load_baseline, write_baseline
+from repro.lint.checker import (
+    LintSyntaxError,
+    is_library_path,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rules, register, unregister
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintSyntaxError",
+    "Rule",
+    "all_rules",
+    "filter_baselined",
+    "get_rules",
+    "is_library_path",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "unregister",
+    "write_baseline",
+]

@@ -1,0 +1,66 @@
+"""Baseline files: adopt the linter without fixing the world first.
+
+A baseline is a JSON file mapping :meth:`Finding.baseline_key` → count.  The
+key hashes rule + path + offending source snippet but *not* the line number,
+so unrelated edits that shift a baselined finding up or down the file do not
+resurrect it — while a second copy of the same pattern in the same file still
+fails (count exceeded).
+
+``python -m repro lint --baseline lint-baseline.json`` reports only findings
+beyond the baselined counts; ``--update-baseline`` rewrites the file from the
+current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Load a baseline file; a missing file is an empty baseline."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return {}
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a repro lint baseline (version {_VERSION})")
+    entries = data.get("findings", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: malformed 'findings' section")
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write the baseline for the current findings (sorted, stable output)."""
+    counts = Counter(finding.baseline_key() for finding in findings)
+    payload = {
+        "version": _VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def filter_baselined(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Findings not covered by the baseline.
+
+    Each baseline entry absorbs up to its recorded count of matching
+    findings; any copies beyond that are returned as new.
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

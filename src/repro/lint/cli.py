@@ -1,0 +1,143 @@
+"""``python -m repro lint`` — the command-line front end of :mod:`repro.lint`.
+
+Exit codes follow the ``compare`` subcommand's CI contract: 0 when clean (or
+fully baselined), 1 when new findings exist, 2 for usage errors (unknown rule
+IDs, malformed baseline files, unreadable paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import filter_baselined, load_baseline, write_baseline
+from repro.lint.checker import lint_paths
+from repro.lint.findings import Finding
+from repro.lint.registry import all_rules, get_rules
+
+#: Directories linted when no paths are given and they exist.
+_DEFAULT_PATHS = ("src", "examples", "benchmarks")
+
+
+def _default_paths() -> List[str]:
+    existing = [path for path in _DEFAULT_PATHS if Path(path).exists()]
+    return existing or ["."]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        rules = all_rules()
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "id": rule.id,
+                            "title": rule.title,
+                            "library_only": rule.library_only,
+                            "rationale": rule.rationale,
+                        }
+                        for rule in rules
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            for rule in rules:
+                scope = " (library code only)" if rule.library_only else ""
+                print(f"{rule.id}: {rule.title}{scope}")
+        return 0
+
+    rules = get_rules(args.rules.split(",") if args.rules else None)
+    paths = args.paths or _default_paths()
+    for path in paths:
+        if not Path(path).exists():
+            raise ValueError(f"no such file or directory: {path!r}")
+    findings = lint_paths(paths, rules=rules)
+
+    if args.update_baseline:
+        if not args.baseline:
+            raise ValueError("--update-baseline needs --baseline FILE")
+        write_baseline(args.baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        fresh = filter_baselined(findings, baseline)
+        baselined = len(findings) - len(fresh)
+        findings = fresh
+
+    if args.json:
+        print(json.dumps([finding.to_dict() for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = f"{len(findings)} finding(s)"
+        if baselined:
+            summary += f" ({baselined} baselined)"
+        print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+def add_lint_parser(subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the repro static-analysis rules over Python sources",
+        description=(
+            "AST-based checks for the invariants this codebase actually "
+            "relies on: simulated time only (DET001), seeded randomness "
+            "(DET002), sim.units byte sizes (UNIT001), valid spec paths "
+            "(SPEC001) and metric names (METRIC001), frozen-dataclass "
+            "discipline (FROZEN001), picklable campaign workers (PAR001)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src examples benchmarks)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="run only these rule IDs (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.set_defaults(handler=_cmd_lint)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(prog="python -m repro.lint")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(subparsers)
+    args = parser.parse_args(["lint", *(argv if argv is not None else sys.argv[1:])])
+    try:
+        return args.handler(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

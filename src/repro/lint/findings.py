@@ -1,0 +1,56 @@
+"""The unit of lint output: one :class:`Finding` at one source location."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line``/``column`` are 1-based (column matching compiler convention:
+    ``path:line:col``).  ``snippet`` is the stripped source line, carried so
+    findings are meaningful in CI logs without opening the file — and so the
+    baseline can identify a finding independently of its line number.
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    snippet: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.rule} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+    def baseline_key(self) -> str:
+        """Identity of this finding for ``--baseline`` matching.
+
+        Deliberately excludes the line number: editing an unrelated part of a
+        file must not resurrect a baselined finding.  Two identical snippets
+        in one file share a key; the baseline stores a per-key *count* so a
+        third copy of an already-baselined pattern still fails the build.
+        """
+        material = f"{self.rule}\x00{self.path}\x00{self.snippet}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+            "key": self.baseline_key(),
+        }

@@ -1,0 +1,78 @@
+"""The pluggable rule registry.
+
+A rule is a class with a unique ``id``, registered via :func:`register`.  The
+built-in rules live in :mod:`repro.lint.rules`; external tooling can register
+additional rules the same way before calling the checker.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+
+class Rule(abc.ABC):
+    """One static check, identified by a short stable ID (``DET001``).
+
+    ``library_only`` rules describe invariants of the simulation library
+    itself (no wall clock, no unseeded RNG) and are skipped for scripts that
+    merely *use* the library — benchmarks legitimately read the wall clock to
+    time real execution.  The checker decides library membership from the
+    file's path (see :func:`repro.lint.checker.is_library_path`).
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    library_only: bool = False
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+
+class DuplicateRuleError(ValueError):
+    """A rule ID was registered twice."""
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (one instance per ID)."""
+    rule = rule_class()
+    if not rule.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise DuplicateRuleError(
+            f"rule id {rule.id!r} already registered by "
+            f"{type(_REGISTRY[rule.id]).__name__}"
+        )
+    _REGISTRY[rule.id] = rule
+    return rule_class
+
+
+def unregister(rule_id: str) -> None:
+    _REGISTRY.pop(rule_id, None)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in ID order (built-ins register on import)."""
+    import repro.lint.rules  # noqa: F401  (importing registers the built-ins)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve a subset of rule IDs (``None`` → all), rejecting unknown IDs."""
+    rules = all_rules()
+    if rule_ids is None:
+        return rules
+    known = {rule.id: rule for rule in rules}
+    unknown = sorted(set(rule_ids) - set(known))
+    if unknown:
+        raise ValueError(f"unknown lint rule(s) {unknown}; known: {sorted(known)}")
+    return [known[rule_id] for rule_id in sorted(set(rule_ids))]

@@ -1,0 +1,23 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with :mod:`repro.lint.registry`
+(each module applies the ``@register`` decorator at import time).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import determinism as _determinism
+from repro.lint.rules import frozen as _frozen
+from repro.lint.rules import metrics as _metrics
+from repro.lint.rules import parallel as _parallel
+from repro.lint.rules import spec_paths as _spec_paths
+from repro.lint.rules import units as _units
+
+__all__ = [
+    "_determinism",
+    "_frozen",
+    "_metrics",
+    "_parallel",
+    "_spec_paths",
+    "_units",
+]

@@ -1,0 +1,143 @@
+"""Determinism rules: simulated time and seeded randomness only.
+
+The whole repository's correctness story rests on bit-identical replay: the
+parity tests, the experiment store's spec-hash memoisation and the campaign
+executor's parallel-equals-serial guarantee all assume a scenario is a pure
+function of its spec.  Wall-clock reads and unseeded randomness are the two
+ways library code silently breaks that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Wall-clock entry points.  ``time.sleep`` is included: blocking the host
+#: thread is never how simulated time advances.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level numpy RNG entry points (the legacy global stream).
+_NUMPY_GLOBAL_RANDOM = frozenset(
+    {
+        "numpy.random.seed",
+        "numpy.random.random",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random_sample",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.poisson",
+        "numpy.random.exponential",
+        "numpy.random.zipf",
+        "numpy.random.binomial",
+        "numpy.random.gamma",
+        "numpy.random.beta",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """DET001: simulation/serving code must not read the wall clock."""
+
+    id = "DET001"
+    title = "wall-clock time in simulation code"
+    rationale = (
+        "Results must be a pure function of the ScenarioSpec.  All simulated "
+        "time flows from sim.clock.SimClock / sim.events.Simulator; a "
+        "time.time()/monotonic()/datetime.now() read couples results to the "
+        "machine that produced them and breaks bit-identical replay, parity "
+        "tests and store-served campaign resume."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve_imported_call(node)
+            if qualified in WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"wall-clock call {qualified}(); simulated time must come "
+                    f"from sim.clock.SimClock / the Simulator event loop",
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET002: randomness must flow from ``sim.rng.make_rng``."""
+
+    id = "DET002"
+    title = "unseeded or global-stream randomness"
+    rationale = (
+        "Seeded replicates and cross-process campaign determinism need every "
+        "random stream derived from the experiment seed via "
+        "sim.rng.make_rng(seed, *keys).  The stdlib `random` module, numpy's "
+        "module-level random functions and an argument-less default_rng() all "
+        "draw from process-global or entropy-seeded state."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve_imported_call(node)
+            if qualified is None:
+                continue
+            if qualified.startswith("random."):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"stdlib {qualified}() uses the process-global random "
+                    f"stream; derive a generator with sim.rng.make_rng",
+                )
+            elif qualified in _NUMPY_GLOBAL_RANDOM:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"module-level {qualified}() uses numpy's global stream; "
+                    f"derive a generator with sim.rng.make_rng",
+                )
+            elif qualified == "numpy.random.RandomState":
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "legacy numpy.random.RandomState; derive a Generator with "
+                    "sim.rng.make_rng",
+                )
+            elif qualified == "numpy.random.default_rng" and not (
+                node.args or node.keywords
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "default_rng() without a seed draws from OS entropy; "
+                    "derive the generator with sim.rng.make_rng(seed, *keys)",
+                )

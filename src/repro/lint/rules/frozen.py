@@ -1,0 +1,186 @@
+"""FROZEN001: frozen dataclasses stay frozen; dataclass defaults stay immutable.
+
+Specs (``ScenarioSpec`` and its sections, ``TierSpec``, ``CampaignSpec``) are
+frozen dataclasses precisely so they can be hashed, memoised and shipped
+across process boundaries.  ``object.__setattr__`` escapes the freeze — it is
+the sanctioned idiom *inside* ``__post_init__`` normalisation and nowhere
+else.  Plain ``self.x = ...`` in a frozen class raises at runtime, but only
+on the first call that reaches it; mutable default fields silently share
+state across instances (or crash at class-definition time for list/dict/set).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Methods of a frozen dataclass that may legitimately use object.__setattr__
+#: on ``self`` (construction/normalisation and unpickling).
+_SETATTR_OK_METHODS = frozenset({"__post_init__", "__init__", "__new__", "__setstate__"})
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _dataclass_decoration(node: ast.ClassDef) -> Optional[ast.AST]:
+    """The ``@dataclass`` decorator node of a class, or ``None``."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.AST) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+def _enclosing_function(ctx: FileContext, node: ast.AST) -> Optional[ast.FunctionDef]:
+    for parent in ctx.ancestors(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent  # type: ignore[return-value]
+    return None
+
+
+@register
+class FrozenDataclassRule(Rule):
+    """FROZEN001: no frozen-instance mutation, no mutable dataclass defaults."""
+
+    id = "FROZEN001"
+    title = "frozen-dataclass mutation or mutable default field"
+    rationale = (
+        "Frozen specs are hashed (spec_hash) and memoised (ExperimentStore); "
+        "mutating one after construction silently invalidates its hash.  "
+        "object.__setattr__ is the escape hatch for __post_init__ "
+        "normalisation only.  Mutable defaults ([]/{}/set()) share one "
+        "instance across every dataclass instance."
+    )
+    library_only = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        frozen_methods: Set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                decorator = _dataclass_decoration(node)
+                if decorator is None:
+                    continue
+                frozen = _is_frozen(decorator)
+                for statement in node.body:
+                    if frozen and isinstance(
+                        statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        frozen_methods.add(statement)
+                        yield from self._check_self_assignment(ctx, node, statement)
+                    yield from self._check_mutable_default(ctx, node, statement)
+        yield from self._check_setattr_calls(ctx, frozen_methods)
+
+    # ------------------------------------------------------------ sub-checks
+    def _check_self_assignment(
+        self, ctx: FileContext, cls: ast.ClassDef, method: ast.AST
+    ) -> Iterator[Finding]:
+        """``self.x = ...`` in a frozen dataclass method raises at runtime."""
+        assert isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+        # Plain assignment raises FrozenInstanceError in *every* method of a
+        # frozen dataclass, __post_init__ included — only object.__setattr__
+        # is sanctioned there — so no method is exempt here.
+        if not method.args.args:
+            return
+        self_name = method.args.args[0].arg
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"assignment to {self_name}.{target.attr} in frozen "
+                        f"dataclass {cls.name}.{method.name}; frozen instances "
+                        f"raise FrozenInstanceError — use dataclasses.replace "
+                        f"(or object.__setattr__ inside __post_init__)",
+                    )
+
+    def _check_mutable_default(
+        self, ctx: FileContext, cls: ast.ClassDef, statement: ast.stmt
+    ) -> Iterator[Finding]:
+        """Mutable defaults on dataclass fields (`x: List[int] = []`)."""
+        # Dataclass fields are exactly the annotated assignments; a bare
+        # ``x = []`` in the class body is a (shared) class attribute, not a
+        # field, and stays out of scope here.
+        if not (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+        ):
+            return
+        default: Optional[ast.AST] = statement.value
+        field_name = statement.target.id
+        if default is None:
+            return
+        mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+            isinstance(default, ast.Call)
+            and dotted_name(default.func) in _MUTABLE_CALLS
+            and not default.args
+            and not default.keywords
+        )
+        if isinstance(default, ast.Call):
+            name = dotted_name(default.func)
+            if name in ("field", "dataclasses.field"):
+                for keyword in default.keywords:
+                    if keyword.arg == "default" and (
+                        isinstance(keyword.value, (ast.List, ast.Dict, ast.Set))
+                        or (
+                            isinstance(keyword.value, ast.Call)
+                            and dotted_name(keyword.value.func) in _MUTABLE_CALLS
+                        )
+                    ):
+                        mutable = True
+        if mutable:
+            yield ctx.finding(
+                self.id,
+                statement,
+                f"mutable default for dataclass field {cls.name}.{field_name}; "
+                f"use field(default_factory=...)",
+            )
+
+    def _check_setattr_calls(
+        self, ctx: FileContext, frozen_methods: Set[ast.AST]
+    ) -> Iterator[Finding]:
+        """``object.__setattr__`` anywhere but frozen ``__post_init__`` et al."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            method = _enclosing_function(ctx, node)
+            if (
+                method is not None
+                and method in frozen_methods
+                and method.name in _SETATTR_OK_METHODS
+            ):
+                continue
+            where = f" (in {method.name})" if method is not None else ""
+            yield ctx.finding(
+                self.id,
+                node,
+                f"object.__setattr__ outside a frozen dataclass's "
+                f"__post_init__/__setstate__{where}; this bypasses the freeze "
+                f"— use dataclasses.replace to derive a new instance",
+            )

@@ -1,0 +1,122 @@
+"""PAR001: work shipped to worker processes must be picklable.
+
+The campaign executor's contract is that every point travels as plain data to
+a top-level worker function.  Lambdas and closures defined inside another
+function do not pickle; handing one to ``ProcessPoolExecutor.submit/map`` (or
+``multiprocessing`` pools / ``Process(target=...)``) fails only at runtime —
+and with the executor's serial fallback, sometimes only on the machines that
+*can* fork.  This rule catches the pattern statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Method names that ship their first callable argument to another process,
+#: on receivers whose name suggests a process pool.
+_POOL_METHODS = frozenset(
+    {"submit", "map", "imap", "imap_unordered", "apply", "apply_async", "starmap"}
+)
+
+#: Receiver-name fragments that mark a process pool or executor.
+_POOL_RECEIVERS = ("pool", "executor")
+
+#: Direct constructors whose ``target=`` runs in a child process.
+_PROCESS_TARGETS = frozenset({"Process", "multiprocessing.Process"})
+
+
+def _local_functions(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Names of functions defined *inside* another function (closures)."""
+    local: Dict[str, ast.AST] = {}
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if self.depth > 0:
+                local[node.name] = node
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    Visitor().visit(tree)
+    return local
+
+
+@register
+class UnpicklableWorkerRule(Rule):
+    """PAR001: no lambdas/closures handed to process pools."""
+
+    id = "PAR001"
+    title = "unpicklable callable shipped to a worker process"
+    rationale = (
+        "run_campaign workers receive plain spec dicts and a *top-level* "
+        "function — that is what makes parallel campaigns identical to "
+        "serial ones.  A lambda or nested function passed to a process "
+        "pool's submit/map (or a Process target) cannot be pickled and "
+        "fails only at runtime, on hosts that can actually fork."
+    )
+    library_only = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        local_functions = _local_functions(ctx.tree)
+        reported: Set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidate = self._worker_argument(node)
+            if candidate is None or candidate in reported:
+                continue
+            if isinstance(candidate, ast.Lambda):
+                reported.add(candidate)
+                yield ctx.finding(
+                    self.id,
+                    candidate,
+                    "lambda shipped to a worker process cannot be pickled; "
+                    "define a top-level function instead",
+                )
+            elif (
+                isinstance(candidate, ast.Name)
+                and candidate.id in local_functions
+            ):
+                reported.add(candidate)
+                yield ctx.finding(
+                    self.id,
+                    candidate,
+                    f"closure {candidate.id!r} (defined inside another "
+                    f"function) shipped to a worker process cannot be "
+                    f"pickled; move it to module level",
+                )
+
+    @staticmethod
+    def _worker_argument(node: ast.Call) -> Optional[ast.AST]:
+        """The callable this call would ship cross-process, if any."""
+        name = dotted_name(node.func)
+        # pool.submit(fn, ...) / executor.map(fn, ...)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_METHODS
+        ):
+            receiver = dotted_name(node.func.value)
+            if receiver is not None and any(
+                fragment in receiver.lower() for fragment in _POOL_RECEIVERS
+            ):
+                if node.args:
+                    return node.args[0]
+                for keyword in node.keywords:
+                    if keyword.arg in ("fn", "func", "function"):
+                        return keyword.value
+        # Process(target=fn) / multiprocessing.Process(target=fn)
+        if name in _PROCESS_TARGETS:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+        return None

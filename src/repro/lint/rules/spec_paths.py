@@ -1,0 +1,59 @@
+"""SPEC001: dotted spec paths must resolve against the ScenarioSpec schema.
+
+Grids, sweeps, CLI defaults, examples and tests all address scenario knobs by
+dotted string path (``"serving.concurrency"``, ``"tiers.1.capacity"``).  The
+schema only checks these when a run actually executes — three hours into a
+campaign if the typo'd axis comes late.  This rule resolves every path-shaped
+string literal against the real dataclass schema at lint time, via
+:func:`repro.api.spec.spec_path_error`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: A candidate spec path: lowercase dotted identifier segments (digits allowed
+#: after the first segment, for tier indices).  Anything with spaces, ``=`` or
+#: uppercase is prose or CLI syntax, not a path literal.
+_PATH_SHAPE = re.compile(r"^[a-z_][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Only strings whose first segment names a spec section (or the ``tiers``
+#: shorthand) are treated as spec paths; everything else — attribute paths,
+#: module names, file names — is ignored.
+_SPEC_ROOTS = frozenset({"model", "backend", "workload", "traffic", "serving", "tiers"})
+
+
+@register
+class SpecPathRule(Rule):
+    """SPEC001: spec-path string literals must exist in the schema."""
+
+    id = "SPEC001"
+    title = "dotted spec path does not resolve against ScenarioSpec"
+    rationale = (
+        "Dotted paths like 'tiers.1.capacity' are only validated when a "
+        "campaign runs.  Checking every path-shaped string literal against "
+        "the ScenarioSpec dataclass schema catches typos (tiers.1.capactiy) "
+        "and paths gone stale after a schema change at lint time."
+    )
+    library_only = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from repro.api.spec import spec_path_error
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant) or not isinstance(node.value, str):
+                continue
+            text = node.value
+            if not _PATH_SHAPE.match(text):
+                continue
+            if text.partition(".")[0] not in _SPEC_ROOTS:
+                continue
+            error = spec_path_error(text)
+            if error is not None:
+                yield ctx.finding(self.id, node, error)

@@ -1,0 +1,190 @@
+"""UNIT001: byte sizes go through ``repro.sim.units``.
+
+Two failure modes, one rule:
+
+* magic byte-size literals (``4096``, ``1 << 30``, ``1024 * 1024``) in a
+  byte-sized position — the reader cannot tell 4 KiB from a typo'd 4 MB, and
+  a GiB written as ``1e9`` silently loses 7%;
+* decimal/binary unit *mixing* inside one arithmetic expression
+  (``4 * GB + 2 * GIB``) — almost always one of the two is wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Set
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+DECIMAL_UNITS = frozenset({"KB", "MB", "GB", "TB"})
+BINARY_UNITS = frozenset({"KIB", "MIB", "GIB", "TIB"})
+
+#: Exact literals that are almost certainly a byte size written by hand, and
+#: the ``sim.units`` spelling they should use.
+MAGIC_SIZES = {
+    1024: "KIB",
+    4096: "4 * KIB",
+    8192: "8 * KIB",
+    65536: "64 * KIB",
+    1024**2: "MIB",
+    1024**3: "GIB",
+    1024**4: "TIB",
+    1_000: "KB",
+    1_000_000: "MB",
+    1_000_000_000: "GB",
+    1_000_000_000_000: "TB",
+}
+
+#: Identifier fragments that mark a byte-sized value.  Deliberately narrow:
+#: a bare "size" would also match counts like ``batch_size``.
+_BYTE_NAME = re.compile(r"(bytes|capacity|footprint|budget)", re.IGNORECASE)
+
+#: The module that *defines* the unit constants is allowed to spell them out.
+_UNITS_MODULE_SUFFIXES = ("sim/units.py", "sim\\units.py")
+
+
+def _context_name(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """The nearest name this expression is bound to or passed as.
+
+    Climbs to the closest assignment target, keyword argument, annotated
+    field, function-parameter default or comparison partner and returns its
+    identifier, so the rule only fires where the *name* says "this is a byte
+    count".
+    """
+    child = node
+    for parent in ctx.ancestors(node):
+        if isinstance(parent, ast.keyword):
+            return parent.arg
+        if isinstance(parent, (ast.Assign, ast.AugAssign)):
+            targets = parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    return target.id
+                if isinstance(target, ast.Attribute):
+                    return target.attr
+            return None
+        if isinstance(parent, ast.AnnAssign):
+            if isinstance(parent.target, ast.Name):
+                return parent.target.id
+            if isinstance(parent.target, ast.Attribute):
+                return parent.target.attr
+            return None
+        if isinstance(parent, ast.arguments):
+            # ``child`` is a parameter default; find which parameter.
+            for args, defaults in (
+                (parent.posonlyargs + parent.args, parent.defaults),
+                (parent.kwonlyargs, parent.kw_defaults),
+            ):
+                anchored = args[len(args) - len(defaults) :] if defaults else []
+                for arg, default in zip(anchored, defaults):
+                    if default is child:
+                        return arg.arg
+            return None
+        if isinstance(parent, ast.Compare):
+            names = [
+                name
+                for comparand in [parent.left, *parent.comparators]
+                for name in [_identifier(comparand)]
+                if name is not None
+            ]
+            return names[0] if names else None
+        if isinstance(parent, (ast.BinOp, ast.UnaryOp, ast.IfExp, ast.Tuple, ast.List)):
+            child = parent
+            continue
+        return None
+    return None
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _magic_value(node: ast.AST) -> Optional[int]:
+    """The integer value of a hand-written size idiom, if this is one.
+
+    Matches plain int literals, ``1 << N`` shifts and pure products of int
+    literals (``1024 * 1024``); anything containing a Name is someone already
+    using constants and is left alone.
+    """
+    if isinstance(node, ast.Constant):
+        return node.value if type(node.value) is int else None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.LShift, ast.Mult, ast.Pow)):
+        left = _magic_value(node.left)
+        right = _magic_value(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.LShift):
+            return left << right if right < 64 else None
+        if isinstance(node.op, ast.Pow):
+            return left**right if abs(right) < 64 else None
+        return left * right
+    return None
+
+
+@register
+class ByteUnitsRule(Rule):
+    """UNIT001: magic byte sizes and decimal/binary unit mixing."""
+
+    id = "UNIT001"
+    title = "byte sizes must go through sim.units"
+    rationale = (
+        "All sizes are bytes-as-ints with constants (KIB/MIB/GIB, KB/MB/GB) "
+        "and parse_size() in repro.sim.units.  Hand-written literals invite "
+        "GiB/GB confusion (a 'GB' written as 1 << 30 overstates by 7%), and "
+        "mixing decimal with binary units in one expression is almost always "
+        "a bug."
+    )
+    library_only = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path.replace("\\", "/").endswith("sim/units.py"):
+            return
+        flagged: Set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            # -- magic literal / idiom in a byte-named position ------------
+            # Only evaluate at expression roots: a literal *inside* a BinOp
+            # is either part of a larger literal idiom (reported at the root)
+            # or a multiplier of a named constant (``1000 * GB`` — already
+            # using units, leave it alone).
+            value = None
+            if isinstance(node, (ast.Constant, ast.BinOp)) and not isinstance(
+                ctx.parent(node), ast.BinOp
+            ):
+                value = _magic_value(node)
+            if value is not None and value in MAGIC_SIZES and node not in flagged:
+                name = _context_name(ctx, node)
+                if name is not None and _BYTE_NAME.search(name):
+                    flagged.add(node)
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"magic byte size {value} bound to {name!r}; use "
+                        f"sim.units ({MAGIC_SIZES[value]}) or parse_size()",
+                    )
+            # -- decimal/binary mixing in one expression -------------------
+            if isinstance(node, ast.BinOp):
+                parent = ctx.parent(node)
+                if isinstance(parent, ast.BinOp):
+                    continue  # only report once, at the expression root
+                names = {
+                    sub.id
+                    for sub in ast.walk(node)
+                    if isinstance(sub, ast.Name)
+                }
+                decimal = sorted(names & DECIMAL_UNITS)
+                binary = sorted(names & BINARY_UNITS)
+                if decimal and binary:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"expression mixes decimal ({', '.join(decimal)}) and "
+                        f"binary ({', '.join(binary)}) byte units; pick one "
+                        f"family",
+                    )

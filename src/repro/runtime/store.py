@@ -53,7 +53,7 @@ class ExperimentStore:
         if self._records is None:
             self._records = {}
             if self.results_path.exists():
-                with open(self.results_path, "r", encoding="utf-8") as handle:
+                with open(self.results_path, encoding="utf-8") as handle:
                     for line in handle:
                         line = line.strip()
                         if not line:
@@ -124,5 +124,5 @@ class ExperimentStore:
     def read_campaign(self) -> Optional[Dict[str, Any]]:
         if not self.campaign_path.exists():
             return None
-        with open(self.campaign_path, "r", encoding="utf-8") as handle:
+        with open(self.campaign_path, encoding="utf-8") as handle:
             return json.load(handle)

@@ -59,7 +59,7 @@ _SIZE_SUFFIXES = {
 }
 
 
-def parse_size(text) -> int:
+def parse_size(text: object) -> int:
     """Parse a byte count: a plain integer or a string like ``"4GiB"``.
 
     Accepts decimal (KB/MB/GB/TB) and binary (KiB/MiB/GiB/TiB) suffixes,

@@ -1,0 +1,13 @@
+"""DET001 positive fixture: wall-clock reads in library code."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def measure():
+    start = time.time()
+    tick = monotonic()
+    stamp = datetime.now()
+    time.sleep(0.1)
+    return start, tick, stamp

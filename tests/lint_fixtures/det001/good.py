@@ -1,0 +1,19 @@
+"""DET001 negative fixture: simulated time only (plus look-alikes)."""
+
+from repro.sim.clock import SimClock
+
+
+def measure(clock: SimClock):
+    start = clock.now
+    clock.advance(0.1)
+    return clock.now - start
+
+
+def look_alike():
+    # A local object that happens to be called ``time`` is not the module.
+    class Stopwatch:
+        def time(self):
+            return 0.0
+
+    time = Stopwatch()
+    return time.time()

@@ -1,0 +1,13 @@
+"""DET002 positive fixture: global-stream and unseeded randomness."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()
+    b = np.random.rand(4)
+    rng = np.random.default_rng()
+    legacy = np.random.RandomState(7)
+    return a, b, rng, legacy

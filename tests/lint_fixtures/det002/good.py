@@ -1,0 +1,11 @@
+"""DET002 negative fixture: seeded generators derived from the spec seed."""
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+def draw(seed: int):
+    rng = make_rng(seed, "workload")
+    explicit = np.random.default_rng(seed)
+    return rng.random(), explicit.random()

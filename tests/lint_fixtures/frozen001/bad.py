@@ -1,0 +1,23 @@
+"""FROZEN001 positive fixture: freeze violations and mutable defaults."""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    tags: List[str] = []  # mutable default
+    options: Dict[str, int] = dict()  # mutable default via constructor
+
+    def rename(self, name: str) -> None:
+        self.name = name  # plain assignment on a frozen instance
+
+
+@dataclass
+class Tracker:
+    count: int = 0
+
+    def bump(self) -> None:
+        # object.__setattr__ outside any frozen dataclass's __post_init__
+        object.__setattr__(self, "count", self.count + 1)

@@ -1,0 +1,29 @@
+"""FROZEN001 negative fixture: sanctioned idioms only."""
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    tags: Tuple[str, ...] = ()
+    extras: List[str] = field(default_factory=list)
+    options: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalisation through the sanctioned escape hatch.
+        object.__setattr__(self, "name", self.name.strip())
+
+    def renamed(self, name: str) -> "Spec":
+        return dataclasses.replace(self, name=name)
+
+
+@dataclass
+class Tracker:
+    count: int = 0
+    label = "tracker"  # bare class attribute, not a dataclass field
+
+    def bump(self) -> None:
+        self.count += 1  # mutation of a *non-frozen* dataclass is fine

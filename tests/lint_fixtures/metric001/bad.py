@@ -1,0 +1,16 @@
+"""METRIC001 positive fixture: metric names that miss the result schema."""
+
+from repro.api.results import campaign_table, sweep_table
+from repro.runtime import MetricSpec, compare_runs
+
+
+def tables(points, outcomes):
+    a = sweep_table(points, metric="achieved_qpz")
+    b = campaign_table(outcomes, metrics=["makespan_secondz"])
+    return a, b
+
+
+def comparisons():
+    spec = MetricSpec.parse("latency_seconds.p98:lower")
+    diff = compare_runs("a", "b", metrics=["achieved_qps:sideways"])
+    return spec, diff

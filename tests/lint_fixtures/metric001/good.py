@@ -1,0 +1,16 @@
+"""METRIC001 negative fixture: real fields and addressable result paths."""
+
+from repro.api.results import campaign_table, sweep_table
+from repro.runtime import MetricSpec, compare_runs
+
+
+def tables(points, outcomes):
+    a = sweep_table(points, metric="achieved_qps")
+    b = campaign_table(outcomes, metrics=["achieved_qps", "makespan_seconds"])
+    return a, b
+
+
+def comparisons():
+    spec = MetricSpec.parse("latency_seconds.p99:lower")
+    diff = compare_runs("a", "b", metrics=["achieved_qps:higher", "power.fleet_power"])
+    return spec, diff

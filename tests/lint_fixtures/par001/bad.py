@@ -1,0 +1,17 @@
+"""PAR001 positive fixture: unpicklable callables shipped to workers."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_points(points):
+    scale = 2.0
+
+    def worker(point):  # closure over ``scale`` — does not pickle
+        return point * scale
+
+    with ProcessPoolExecutor() as executor:
+        futures = [executor.submit(worker, p) for p in points]
+        doubled = list(executor.map(lambda p: p * 2, points))
+    process = multiprocessing.Process(target=lambda: None)
+    return futures, doubled, process

@@ -1,0 +1,18 @@
+"""PAR001 negative fixture: top-level workers, local callables stay local."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(point):
+    return point * 2
+
+
+def run_points(points):
+    with ProcessPoolExecutor() as executor:
+        futures = [executor.submit(_worker, p) for p in points]
+        doubled = list(executor.map(_worker, points))
+    process = multiprocessing.Process(target=_worker, args=(1,))
+    # Lambdas handed to in-process callables are fine.
+    ordered = sorted(points, key=lambda p: p)
+    return futures, doubled, process, ordered

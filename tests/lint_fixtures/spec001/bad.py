@@ -1,0 +1,11 @@
+"""SPEC001 positive fixture: typo'd and stale spec paths."""
+
+GRID_AXES = {
+    "tiers.1.capactiy": ["256KiB", "1MiB"],  # the classic transposition
+    "serving.concurency": [1, 2, 4],
+    "workload.num_querys": [100],
+}
+
+SWEEP_PARAM = "traffic.offered_qpz"
+BAD_DESCENT = "backend.name.extra"  # descending into a scalar field
+BAD_TIER_INDEX = "tiers.first.capacity"

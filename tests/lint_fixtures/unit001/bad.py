@@ -1,0 +1,11 @@
+"""UNIT001 positive fixture: magic byte sizes and unit-family mixing."""
+
+from repro.sim.units import GB, GIB
+
+cache_capacity_bytes = 1 << 30
+row_bytes = 4096
+
+
+def configure(capacity_bytes=1024 * 1024):
+    budget = 2 * GB + GIB  # decimal and binary mixed in one expression
+    return capacity_bytes, budget

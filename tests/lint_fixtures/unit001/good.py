@@ -1,0 +1,10 @@
+"""UNIT001 negative fixture: sim.units constants, counts left alone."""
+
+from repro.sim.units import GB, GIB, KIB, parse_size
+
+cache_capacity_bytes = GIB
+row_bytes = 4 * KIB
+model_capacity_bytes = 1000 * GB  # a literal *multiplier* of a unit is fine
+configured_bytes = parse_size("256KiB")
+batch_size = 4096  # a count, not bytes: name does not say bytes/capacity
+num_queries = 1024

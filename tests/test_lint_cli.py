@@ -1,0 +1,129 @@
+"""The ``python -m repro lint`` subcommand: output modes, baselines, exits."""
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+
+CLEAN = "from repro.sim.units import GIB\ncache_capacity_bytes = GIB\n"
+DIRTY = (
+    "import time\n"
+    "def measure():\n"
+    "    return time.time()\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path, monkeypatch):
+    """A fake checkout: src/repro counts as library code, examples does not."""
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text(CLEAN)
+    (tmp_path / "examples").mkdir()
+    (tmp_path / "examples" / "demo.py").write_text(DIRTY)  # non-library: allowed
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def write_dirty(tree):
+    path = tree / "src" / "repro" / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        assert main(["lint", "src", "examples"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, tree, capsys):
+        write_dirty(tree)
+        assert main(["lint", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "dirty.py:3:12" in out
+
+    def test_missing_path_exits_two(self, tree, capsys):
+        assert main(["lint", "no-such-dir"]) == 2
+        assert "no-such-dir" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tree, capsys):
+        assert main(["lint", "--rules", "NOPE001", "src"]) == 2
+        assert "NOPE001" in capsys.readouterr().err
+
+    def test_default_paths_cover_src_and_examples(self, tree, capsys):
+        write_dirty(tree)
+        assert main(["lint"]) == 1
+
+
+class TestJsonOutput:
+    def test_json_findings_parse_and_locate(self, tree, capsys):
+        write_dirty(tree)
+        assert main(["lint", "--json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        finding = payload[0]
+        assert finding["rule"] == "DET001"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] == 3
+        assert "time.time" in finding["message"]
+
+    def test_json_clean_is_empty_list(self, tree, capsys):
+        assert main(["lint", "--json", "src"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_list_rules_json(self, tree, capsys):
+        assert main(["lint", "--list-rules", "--json"]) == 0
+        rules = json.loads(capsys.readouterr().out)
+        assert {"DET001", "PAR001"} <= {rule["id"] for rule in rules}
+        assert all(rule["rationale"] for rule in rules)
+
+
+class TestRuleSelection:
+    def test_rules_filter_limits_checks(self, tree, capsys):
+        write_dirty(tree)
+        assert main(["lint", "--rules", "UNIT001", "src"]) == 0
+        assert main(["lint", "--rules", "DET001,UNIT001", "src"]) == 1
+
+    def test_list_rules_text(self, tree, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "library code only" in out
+
+
+class TestBaselineWorkflow:
+    def test_update_then_lint_is_clean_until_new_finding(self, tree, capsys):
+        write_dirty(tree)
+        baseline = "lint-baseline.json"
+        assert main(["lint", "--baseline", baseline, "--update-baseline", "src"]) == 0
+        # Baselined finding no longer fails the run...
+        assert main(["lint", "--baseline", baseline, "src"]) == 0
+        assert "(1 baselined)" in capsys.readouterr().err
+        # ...and survives the file moving around...
+        path = tree / "src" / "repro" / "dirty.py"
+        path.write_text("# shifted down\n\n" + DIRTY)
+        assert main(["lint", "--baseline", baseline, "src"]) == 0
+        # ...but a *new* violation still fails.
+        path.write_text(DIRTY + "\ndeadline = time.monotonic()\n")
+        assert main(["lint", "--baseline", baseline, "src"]) == 1
+        out = capsys.readouterr().out
+        assert "monotonic" in out
+        assert "time.time" not in out  # the baselined one stays suppressed
+
+    def test_update_baseline_requires_baseline_path(self, tree, capsys):
+        assert main(["lint", "--update-baseline", "src"]) == 2
+
+    def test_malformed_baseline_exits_two(self, tree, capsys):
+        (tree / "bad.json").write_text(json.dumps({"version": 99}))
+        assert main(["lint", "--baseline", "bad.json", "src"]) == 2
+
+
+class TestStandaloneModule:
+    def test_python_m_repro_lint_entry(self, tree, capsys):
+        from repro.lint.cli import main as lint_main
+
+        write_dirty(tree)
+        assert lint_main(["src"]) == 1
+        assert lint_main(["--rules", "UNIT001", "src"]) == 0

@@ -1,0 +1,205 @@
+"""The lint framework itself: registry, suppression, traversal, baselines."""
+
+import ast
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintSyntaxError,
+    Rule,
+    all_rules,
+    filter_baselined,
+    get_rules,
+    is_library_path,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    register,
+    unregister,
+    write_baseline,
+)
+from repro.lint.checker import iter_python_files, suppressed_rules
+from repro.lint.registry import DuplicateRuleError
+
+
+class TestRegistry:
+    def test_all_rules_are_id_sorted_and_unique(self):
+        ids = [rule.id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        assert {"DET001", "DET002", "UNIT001", "SPEC001", "METRIC001",
+                "FROZEN001", "PAR001"} <= set(ids)
+
+    def test_get_rules_unknown_id_raises_with_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_rules(["DET999"])
+        assert "DET999" in str(excinfo.value)
+        assert "DET001" in str(excinfo.value)
+
+    def test_custom_rule_registers_and_unregisters(self):
+        @register
+        class EveryModule(Rule):
+            id = "TEST901"
+            title = "fires on every module"
+            rationale = "test"
+
+            def check(self, ctx):
+                yield ctx.finding(self.id, ctx.tree.body[0], "hello")
+
+        try:
+            findings = lint_source("x = 1\n", "a.py", rules=get_rules(["TEST901"]))
+            assert [f.rule for f in findings] == ["TEST901"]
+            with pytest.raises(DuplicateRuleError):
+                register(EveryModule)
+        finally:
+            unregister("TEST901")
+        with pytest.raises(ValueError):
+            get_rules(["TEST901"])
+
+
+class TestSuppression:
+    SOURCE = "import time\nelapsed = time.time(){pragma}\n"
+
+    def _lint(self, pragma=""):
+        return lint_source(
+            self.SOURCE.format(pragma=pragma), "src/repro/x.py", is_library=True
+        )
+
+    def test_unsuppressed_line_is_flagged(self):
+        assert [f.rule for f in self._lint()] == ["DET001"]
+
+    def test_named_pragma_suppresses_that_rule(self):
+        assert self._lint("  # lint: ignore[DET001]") == []
+
+    def test_blanket_pragma_suppresses_everything(self):
+        assert self._lint("  # lint: ignore") == []
+
+    def test_other_rule_pragma_does_not_suppress(self):
+        assert [f.rule for f in self._lint("  # lint: ignore[UNIT001]")] == ["DET001"]
+
+    def test_pragma_parser(self):
+        assert suppressed_rules("x = 1") is None
+        assert suppressed_rules("x = 1  # lint: ignore") == frozenset()
+        assert suppressed_rules("x  # lint: ignore[A1, B2]") == frozenset({"A1", "B2"})
+
+
+class TestLibraryPathInference:
+    def test_repro_package_is_library(self):
+        assert is_library_path("src/repro/sim/clock.py")
+        assert is_library_path("src/repro/runtime/executor.py")
+
+    def test_examples_benchmarks_tests_are_not(self):
+        assert not is_library_path("examples/demo.py")
+        assert not is_library_path("benchmarks/bench_backends.py")
+        assert not is_library_path("tests/test_sim.py")
+
+
+class TestTraversal:
+    def test_walk_skips_hidden_and_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "b.py").write_text("x = 1\n")
+        (tmp_path / "note.txt").write_text("not python\n")
+        files = list(iter_python_files([str(tmp_path)]))
+        assert files == [str(tmp_path / "pkg" / "a.py")]
+
+    def test_syntax_error_is_reported_with_location(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        with pytest.raises(LintSyntaxError) as excinfo:
+            lint_paths([str(bad)])
+        assert "broken.py" in str(excinfo.value)
+
+
+class TestFindings:
+    def make(self, **overrides):
+        defaults = dict(
+            rule="DET001", path="a.py", line=3, column=7,
+            message="msg", snippet="time.time()",
+        )
+        defaults.update(overrides)
+        return Finding(**defaults)
+
+    def test_render_format(self):
+        assert self.make().render() == "a.py:3:7: DET001 msg"
+
+    def test_baseline_key_ignores_line_numbers(self):
+        assert self.make(line=3).baseline_key() == self.make(line=99).baseline_key()
+        assert self.make().baseline_key() != self.make(rule="DET002").baseline_key()
+        assert self.make().baseline_key() != self.make(path="b.py").baseline_key()
+
+    def test_sort_key_orders_by_location(self):
+        findings = [self.make(line=9), self.make(line=2), self.make(path="0.py")]
+        ordered = sorted(findings, key=Finding.sort_key)
+        assert [f.path for f in ordered] == ["0.py", "a.py", "a.py"]
+        assert [f.line for f in ordered][1:] == [2, 9]
+
+    def test_to_dict_is_json_ready(self):
+        payload = json.loads(json.dumps(self.make().to_dict()))
+        assert payload["rule"] == "DET001"
+        assert payload["line"] == 3
+
+
+class TestBaseline:
+    def test_roundtrip_and_count_semantics(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        finding = Finding("U1", "a.py", 1, 1, "m", "snippet")
+        twin = Finding("U1", "a.py", 50, 1, "m", "snippet")  # same key, other line
+        other = Finding("U1", "a.py", 2, 1, "m", "different")
+        write_baseline(path, [finding, twin])
+        baseline = load_baseline(path)
+        assert baseline == {finding.baseline_key(): 2}
+        # Two baselined copies absorb two findings, a third is new.
+        assert filter_baselined([finding, twin], baseline) == []
+        triple = [finding, twin, Finding("U1", "a.py", 70, 1, "m", "snippet")]
+        assert len(filter_baselined(triple, baseline)) == 1
+        assert filter_baselined([other], baseline) == [other]
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == {}
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestContextResolution:
+    def test_alias_imports_resolve(self):
+        source = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.rand()\n"
+        )
+        findings = lint_source(source, "src/repro/x.py", is_library=True)
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_local_name_shadowing_does_not_fire(self):
+        source = (
+            "class T:\n"
+            "    def time(self):\n"
+            "        return 0.0\n"
+            "def f():\n"
+            "    time = T()\n"
+            "    return time.time()\n"
+        )
+        assert lint_source(source, "src/repro/x.py", is_library=True) == []
+
+    def test_from_import_resolves_to_qualified_name(self):
+        source = "from time import monotonic\nx = monotonic()\n"
+        findings = lint_source(source, "src/repro/x.py", is_library=True)
+        assert [f.rule for f in findings] == ["DET001"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_parse_builds_ast(self):
+        from repro.lint import FileContext
+
+        ctx = FileContext.parse("x = 1\n", "a.py", is_library=False)
+        assert isinstance(ctx.tree, ast.Module)
+        assert ctx.lines == ["x = 1"]
