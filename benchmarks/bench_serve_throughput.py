@@ -1,0 +1,211 @@
+"""Serve-core throughput: scalar vs batched wall-clock queries/sec.
+
+Not a paper table — this benchmarks the array-native serve core
+(``SDMConfig.serve_mode="batched"``): whole batches of embedding-row
+lookups flow through the tier chain as NumPy arrays (one cache probe and
+one grouped device read per tier) instead of one Python-level walk per
+row.  Both modes are run over the *same* open-loop query stream on the
+same small model; the stream is replayed once to warm the row cache and
+then timed, so the measurement is steady-state serve throughput, where
+the per-row Python overhead of the scalar walk dominates.  The simulated
+outcome (served count, simulated QPS) must be identical between modes —
+the batched path is an execution strategy, not a model change.
+
+Run standalone to write the comparison as JSON::
+
+    python benchmarks/bench_serve_throughput.py --out runs/serve_throughput.json
+
+which is what the ``perf-smoke`` CI job uploads (and gates with
+``--min-speedup``).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import format_table  # noqa: E402
+from repro.core import SDMConfig, SoftwareDefinedMemory  # noqa: E402
+from repro.dlrm import (  # noqa: E402
+    DLRMModel,
+    EmbeddingTable,
+    EmbeddingTableSpec,
+    MLP,
+)
+from repro.dlrm.inference import ComputeSpec, InferenceEngine  # noqa: E402
+from repro.serving.engine import ServingEngine  # noqa: E402
+from repro.sim.units import MIB  # noqa: E402
+from repro.workload import (  # noqa: E402
+    QueryGenerator,
+    WorkloadConfig,
+    generate_arrival_times,
+)
+
+SERVE_MODES = ("scalar", "batched")
+
+# One wide user table so each query gathers a long row batch: that is the
+# regime the batched serve core targets (the scalar walk costs O(rows)
+# Python operations per query, the batched path O(1) array operations).
+NUM_ROWS = 16_384
+DIM = 64
+POOLING = 1536.0
+NUM_QUERIES = 200
+OFFERED_QPS = 5000.0
+ROW_CACHE_BYTES = 64 * MIB
+
+
+def _bench_model() -> DLRMModel:
+    specs = [
+        EmbeddingTableSpec(
+            name="user_0",
+            num_rows=NUM_ROWS,
+            dim=DIM,
+            is_user=True,
+            avg_pooling_factor=POOLING,
+            zipf_alpha=1.05,
+        ),
+        EmbeddingTableSpec(
+            name="item_0",
+            num_rows=NUM_ROWS,
+            dim=DIM,
+            is_user=False,
+            avg_pooling_factor=3.0,
+            zipf_alpha=1.2,
+        ),
+    ]
+    tables = {spec.name: EmbeddingTable.random(spec, seed=0) for spec in specs}
+    total_dim = sum(spec.dim for spec in specs)
+    return DLRMModel(
+        name="bench-serve-throughput",
+        bottom_mlp=MLP([4, 16, 8], seed=0, name="bench/bottom"),
+        top_mlp=MLP([8 + total_dim, 1], seed=0, name="bench/top"),
+        tables=tables,
+        dense_dim=4,
+        item_batch=1,
+    )
+
+
+def run_comparison(repeats: int = 3) -> dict:
+    """Time both serve modes over one replayed open-loop stream."""
+    model = _bench_model()
+    generator = QueryGenerator(
+        model, WorkloadConfig(item_batch=1, num_users=300), seed=0
+    )
+    queries = generator.generate(NUM_QUERIES)
+    arrivals = generate_arrival_times(
+        NUM_QUERIES, process="poisson", offered_qps=OFFERED_QPS, seed=1
+    )
+    records = {}
+    for mode in SERVE_MODES:
+        sdm = SoftwareDefinedMemory(
+            model,
+            SDMConfig(
+                row_cache_capacity_bytes=ROW_CACHE_BYTES,
+                pooled_cache_enabled=False,
+                num_devices=2,
+                seed=0,
+                serve_mode=mode,
+            ),
+        )
+        serving = ServingEngine(
+            InferenceEngine(model, ComputeSpec(), sdm),
+            concurrency=4,
+            store_results=False,
+        )
+        # Warm pass over the same stream: the timed passes then measure
+        # steady-state serving out of a warm row cache.
+        serving.run_open_loop(queries, arrivals, serve_batch=8)
+        best_qps = 0.0
+        result = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = serving.run_open_loop(queries, arrivals, serve_batch=8)
+            elapsed = time.perf_counter() - started
+            best_qps = max(best_qps, result.num_queries / elapsed)
+        assert result is not None
+        records[mode] = {
+            "serve_mode": mode,
+            "wall_qps": best_qps,
+            "served_queries": result.num_queries,
+            "simulated_qps": result.achieved_qps,
+        }
+    # The two modes differ only in execution strategy: the simulated
+    # outcome must match exactly or the comparison is meaningless.
+    scalar, batched = records["scalar"], records["batched"]
+    if scalar["simulated_qps"] != batched["simulated_qps"] or (
+        scalar["served_queries"] != batched["served_queries"]
+    ):
+        raise AssertionError(
+            "scalar and batched serve modes diverged in simulated outcome: "
+            f"{scalar} vs {batched}"
+        )
+    return {
+        "benchmark": "bench_serve_throughput",
+        "num_queries": NUM_QUERIES,
+        "scalar_qps": scalar["wall_qps"],
+        "batched_qps": batched["wall_qps"],
+        "speedup": batched["wall_qps"] / scalar["wall_qps"],
+        "records": list(records.values()),
+    }
+
+
+def _table(payload: dict) -> str:
+    rows = [
+        [
+            record["serve_mode"],
+            round(record["wall_qps"], 1),
+            record["served_queries"],
+            round(record["simulated_qps"], 1),
+        ]
+        for record in payload["records"]
+    ]
+    rows.append(["speedup", f"{payload['speedup']:.1f}x", "", ""])
+    return format_table(
+        ["serve mode", "wall-clock QPS", "served", "simulated QPS"],
+        rows,
+        title="serve-core throughput: scalar vs batched",
+    )
+
+
+def bench_serve_throughput(benchmark):
+    from _util import emit, run_once
+
+    payload = run_once(benchmark, run_comparison, repeats=1)
+    assert payload["batched_qps"] > payload["scalar_qps"]
+    emit("serve-core throughput (repro.core serve_mode)", _table(payload))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="FILE", help="write the comparison as JSON")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed passes per mode (best is kept)"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        help="exit non-zero when batched/scalar speedup falls below this",
+    )
+    args = parser.parse_args()
+    payload = run_comparison(repeats=args.repeats)
+    print(_table(payload))
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"wrote {out}", file=sys.stderr)
+    if args.min_speedup is not None and payload["speedup"] < args.min_speedup:
+        print(
+            f"speedup {payload['speedup']:.2f}x below the "
+            f"--min-speedup gate {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

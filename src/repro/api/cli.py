@@ -116,6 +116,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         help="open-loop admission queue capacity, 0 sheds immediately (implies --arrival poisson)",
     )
+    parser.add_argument(
+        "--serve-batch",
+        type=int,
+        help="open-loop queries a freed stream drains per dispatch (implies --arrival poisson)",
+    )
     parser.add_argument("--platform", help="host platform for power accounting, e.g. HW-SS")
     parser.add_argument("--baseline-platform", help="baseline platform to compare power against")
     parser.add_argument("--qps-per-host", type=float, help="analytic per-host QPS for fleet sizing")
@@ -167,14 +172,20 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
         spec = spec.replace("traffic.offered_qps", args.offered_qps)
     if args.queue_depth is not None:
         spec = spec.replace("traffic.queue_depth", args.queue_depth)
+    if args.serve_batch is not None:
+        spec = spec.replace("traffic.serve_batch", args.serve_batch)
     if args.arrival is not None:
         if args.arrival != "closed":
             spec = spec.replace("traffic.arrival", args.arrival)
         spec = spec.replace("traffic.mode", "closed" if args.arrival == "closed" else "open")
-    elif args.offered_qps is not None or args.queue_depth is not None:
-        # An offered load (or queue depth) only means something in open loop;
-        # silently running closed-loop would ignore it.  `--arrival closed`
-        # opts out explicitly.
+    elif (
+        args.offered_qps is not None
+        or args.queue_depth is not None
+        or args.serve_batch is not None
+    ):
+        # An offered load (or queue depth / drain batch) only means something
+        # in open loop; silently running closed-loop would ignore it.
+        # `--arrival closed` opts out explicitly.
         spec = spec.replace("traffic.mode", "open")
     if args.tiers is not None:
         # Normalise to a list of mappings so grid axes like tiers.1.capacity

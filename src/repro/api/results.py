@@ -62,6 +62,7 @@ class ScenarioResult:
     host_result: Optional[HostSimulationResult] = None  # raw, not serialised
     traffic_mode: str = "closed"
     offered_qps: Optional[float] = None  # open loop only (measured from arrivals)
+    serve_batch: int = 1  # open-loop queue-drain batch size (1 = classic)
     dropped_queries: int = 0
     queueing: Optional[Dict[str, float]] = None  # queue-delay mean/p50/p95/p99
     tiers: Optional[List[Dict[str, Any]]] = None  # per-tier hit rates / bytes served
@@ -95,6 +96,7 @@ class ScenarioResult:
             host_result=None,
             traffic_mode=data.get("traffic_mode", "closed"),
             offered_qps=data.get("offered_qps"),
+            serve_batch=data.get("serve_batch", 1),
             dropped_queries=data.get("dropped_queries", 0),
             queueing=dict(queueing) if queueing is not None else None,
             tiers=[dict(tier) for tier in data["tiers"]] if data.get("tiers") else None,
@@ -117,6 +119,7 @@ class ScenarioResult:
             "power": self.power.to_dict() if self.power is not None else None,
             "traffic_mode": self.traffic_mode,
             "offered_qps": self.offered_qps,
+            "serve_batch": self.serve_batch,
             "dropped_queries": self.dropped_queries,
             "queueing_seconds": dict(self.queueing) if self.queueing is not None else None,
             "tiers": (
@@ -139,6 +142,8 @@ class ScenarioResult:
         if self.traffic_mode == "open":
             if self.offered_qps is not None:
                 rows.append(["offered QPS", round(self.offered_qps, 1)])
+            if self.serve_batch != 1:
+                rows.append(["serve batch", self.serve_batch])
             rows.append(["dropped queries", self.dropped_queries])
             if self.queueing is not None:
                 rows.append(["p99 queue delay (ms)", round(self.queueing["p99"] * 1e3, 3)])
@@ -205,6 +210,7 @@ def result_dict_keys() -> Tuple[str, ...]:
         "power",
         "traffic_mode",
         "offered_qps",
+        "serve_batch",
         "dropped_queries",
         "queueing_seconds",
         "tiers",

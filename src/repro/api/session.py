@@ -157,6 +157,7 @@ class Session:
             arrivals,
             queue_depth=traffic.queue_depth,
             warmup_queries=warmup,
+            serve_batch=traffic.serve_batch,
         )
 
     # Sweeping one of these with closed-loop traffic would silently produce
@@ -368,6 +369,7 @@ class Session:
             host_result=host_result,
             traffic_mode=self.spec.traffic.mode,
             offered_qps=offered_qps,
+            serve_batch=self.spec.traffic.serve_batch,
             dropped_queries=dropped,
             queueing=queueing,
             tiers=self._tier_summaries(),

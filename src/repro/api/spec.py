@@ -105,12 +105,15 @@ class TrafficSpec:
     ``offered_qps``, wait in a bounded admission queue of ``queue_depth``
     slots, and are shed when the queue is full — which is what makes
     latency-vs-offered-load curves and saturation knees measurable.
+    ``serve_batch`` sets how many waiting queries a freed serving stream
+    drains per dispatch (1 — the default — is the classic behaviour).
     """
 
     mode: str = "closed"
     arrival: str = "poisson"
     offered_qps: Optional[float] = None
     queue_depth: int = 64
+    serve_batch: int = 1
     trace: Tuple[float, ...] = ()
     seed: int = 0
 
@@ -124,6 +127,8 @@ class TrafficSpec:
             )
         if self.queue_depth < 0:
             raise ValueError(f"queue_depth must be non-negative: {self.queue_depth}")
+        if self.serve_batch < 1:
+            raise ValueError(f"serve_batch must be positive: {self.serve_batch}")
         object.__setattr__(self, "trace", tuple(float(t) for t in self.trace))
         if self.mode == "open":
             if self.arrival == "trace":
@@ -190,7 +195,13 @@ _SECTION_TYPES = {
 #: closed-loop traffic silently produces identical experiments, so sweeps and
 #: campaign grids over them reject closed-loop base specs up front.
 OPEN_LOOP_ONLY_PARAMS = frozenset(
-    {"traffic.offered_qps", "traffic.queue_depth", "traffic.arrival", "traffic.trace"}
+    {
+        "traffic.offered_qps",
+        "traffic.queue_depth",
+        "traffic.serve_batch",
+        "traffic.arrival",
+        "traffic.trace",
+    }
 )
 
 

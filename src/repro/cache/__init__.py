@@ -10,6 +10,7 @@ cache and larger rows to the CPU-optimised cache.
 
 from repro.cache.base import CacheStats, RowCache
 from repro.cache.lru import LRUCache
+from repro.cache.soa import SoALRUCache
 from repro.cache.memory_optimized import MemoryOptimizedCache
 from repro.cache.cpu_optimized import CPUOptimizedCache
 from repro.cache.unified import UnifiedRowCache, UnifiedCacheConfig
@@ -24,6 +25,7 @@ __all__ = [
     "CacheStats",
     "RowCache",
     "LRUCache",
+    "SoALRUCache",
     "MemoryOptimizedCache",
     "CPUOptimizedCache",
     "UnifiedRowCache",

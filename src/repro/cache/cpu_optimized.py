@@ -9,13 +9,13 @@ matters more (Figure 6).
 
 from __future__ import annotations
 
-from repro.cache.lru import LRUCache
+from repro.cache.soa import SoALRUCache
 
 #: Metadata bytes per item for the pointer-rich layout.
 CPU_OPTIMIZED_OVERHEAD_BYTES = 56
 
 
-class CPUOptimizedCache(LRUCache):
+class CPUOptimizedCache(SoALRUCache):
     """Higher metadata overhead, constant-time lookups."""
 
     def __init__(

@@ -10,7 +10,7 @@ rows here (Figure 6).
 
 from __future__ import annotations
 
-from repro.cache.lru import LRUCache
+from repro.cache.soa import SoALRUCache
 
 #: Metadata bytes per item for the compact/bucketed layout.
 MEMORY_OPTIMIZED_OVERHEAD_BYTES = 12
@@ -19,7 +19,7 @@ MEMORY_OPTIMIZED_OVERHEAD_BYTES = 12
 AVERAGE_BUCKET_SCAN = 4
 
 
-class MemoryOptimizedCache(LRUCache):
+class MemoryOptimizedCache(SoALRUCache):
     """Low metadata overhead, bucket-search lookups."""
 
     def __init__(

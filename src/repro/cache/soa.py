@@ -1,0 +1,349 @@
+"""Structure-of-arrays LRU row cache with whole-batch operations.
+
+Drop-in replacement for the :class:`~repro.cache.lru.LRUCache` eviction
+machinery, bit-identical in every observable — hit/miss/eviction counters,
+modelled CPU seconds, eviction order, ``used_bytes`` — but organised as
+parallel arrays so a whole batch of row keys can be probed or filled with a
+handful of NumPy operations instead of one dict transaction per row:
+
+* keys of the hot shape ``(table_name, stored_index)`` are resolved through a
+  per-table int64 direct-index array (stored index -> slot, ``-1`` absent),
+* row payloads live in contiguous per-row-length storage pools, so a batched
+  probe gathers all hit rows as one ``(hits, row_bytes)`` uint8 matrix,
+* recency is a monotonically increasing stamp per slot; eviction order
+  (ascending stamp) equals the OrderedDict LRU order, found through a
+  lazy-deletion min-heap that is only touched on insert and eviction — a
+  batched probe refreshes stamps with one vectorised store.
+
+CPU-time accounting replicates the scalar cache's float accumulation exactly:
+``np.add.accumulate`` performs the same left-to-right chain of additions a
+per-row ``+=`` loop would, so ``stats.cpu_seconds`` stays bitwise equal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.base import CacheKey, RowCache
+
+
+class _RowPool:
+    """Contiguous storage for fixed-length rows with a free list."""
+
+    __slots__ = ("data", "count", "free")
+
+    def __init__(self, row_len: int) -> None:
+        self.data = np.empty((16, max(row_len, 1)), dtype=np.uint8)
+        self.count = 0
+        self.free: List[int] = []
+
+    def alloc(self) -> int:
+        if self.free:
+            return self.free.pop()
+        if self.count == self.data.shape[0]:
+            grown = np.empty((self.data.shape[0] * 2, self.data.shape[1]), dtype=np.uint8)
+            grown[: self.count] = self.data
+            self.data = grown
+        row = self.count
+        self.count += 1
+        return row
+
+
+class SoALRUCache(RowCache):
+    """Byte-budgeted LRU cache over structure-of-arrays storage.
+
+    Constructor parameters and scalar ``get``/``put`` semantics mirror
+    :class:`~repro.cache.lru.LRUCache` exactly; the batch methods
+    (:meth:`probe_batch`, :meth:`fill_batch`, :meth:`contains_batch`) are the
+    array-native equivalents of calling the scalar operations once per row in
+    input order.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        per_item_overhead_bytes: int = 32,
+        lookup_cpu_seconds: float = 2.0e-7,
+        insert_cpu_seconds: float = 4.0e-7,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if per_item_overhead_bytes < 0:
+            raise ValueError(
+                f"per_item_overhead_bytes must be non-negative: {per_item_overhead_bytes}"
+            )
+        self.per_item_overhead_bytes = per_item_overhead_bytes
+        self.lookup_cpu_seconds = lookup_cpu_seconds
+        self.insert_cpu_seconds = insert_cpu_seconds
+        self._slot_of: Dict[CacheKey, int] = {}
+        self._slot_key: List[Optional[CacheKey]] = []
+        self._slot_len = np.zeros(0, dtype=np.int64)
+        self._slot_stamp = np.zeros(0, dtype=np.int64)
+        self._slot_row = np.zeros(0, dtype=np.int64)
+        self._free_slots: List[int] = []
+        self._pools: Dict[int, _RowPool] = {}
+        # (stamp, slot) lazy-deletion min-heap: pushed on insert, refreshed on
+        # stale pop, never touched by (batched) gets.
+        self._heap: List[Tuple[int, int]] = []
+        self._stamp = 0
+        self._used_bytes = 0
+        # Per-table direct index: stored row -> slot (-1 when absent).  Only
+        # maintained for keys of the hot (table_name, stored_index) shape.
+        self._table_index: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _row_key_parts(key: CacheKey) -> Optional[Tuple[str, int]]:
+        if (
+            isinstance(key, tuple)
+            and len(key) == 2
+            and isinstance(key[0], str)
+            and isinstance(key[1], (int, np.integer))
+            and not isinstance(key[1], bool)
+        ):
+            return key[0], int(key[1])
+        return None
+
+    def _index_for(self, table_name: str, min_size: int) -> np.ndarray:
+        index = self._table_index.get(table_name)
+        if index is None or index.size < min_size:
+            old_size = 0 if index is None else index.size
+            grown = np.full(max(min_size, old_size * 2, 64), -1, dtype=np.int64)
+            if index is not None:
+                grown[:old_size] = index
+            self._table_index[table_name] = grown
+            index = grown
+        return index
+
+    def _grow_slots(self) -> None:
+        old = self._slot_stamp.size
+        new = max(old * 2, 16)
+        for name in ("_slot_len", "_slot_stamp", "_slot_row"):
+            grown = np.zeros(new, dtype=np.int64)
+            grown[:old] = getattr(self, name)
+            setattr(self, name, grown)
+        self._slot_key.extend([None] * (new - old))
+        self._free_slots.extend(range(old, new))
+
+    def _pool_for(self, row_len: int) -> _RowPool:
+        pool = self._pools.get(row_len)
+        if pool is None:
+            pool = _RowPool(row_len)
+            self._pools[row_len] = pool
+        return pool
+
+    def _next_stamp(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
+    def _entry_size(self, value_len: int) -> int:
+        return value_len + self.per_item_overhead_bytes
+
+    def _insert_entry(self, key: CacheKey, value: np.ndarray) -> None:
+        """Store one row; ``value`` is a 1-D uint8 view of the payload."""
+        if not self._free_slots:
+            self._grow_slots()
+        slot = self._free_slots.pop()
+        row_len = int(value.size)
+        pool = self._pool_for(row_len)
+        row = pool.alloc()
+        pool.data[row, :row_len] = value
+        self._slot_key[slot] = key
+        self._slot_len[slot] = row_len
+        self._slot_row[slot] = row
+        stamp = self._next_stamp()
+        self._slot_stamp[slot] = stamp
+        heapq.heappush(self._heap, (stamp, slot))
+        self._slot_of[key] = slot
+        self._used_bytes += self._entry_size(row_len)
+        parts = self._row_key_parts(key)
+        if parts is not None:
+            table_name, stored = parts
+            self._index_for(table_name, stored + 1)[stored] = slot
+
+    def _remove_slot(self, slot: int) -> None:
+        key = self._slot_key[slot]
+        row_len = int(self._slot_len[slot])
+        self._pools[row_len].free.append(int(self._slot_row[slot]))
+        self._used_bytes -= self._entry_size(row_len)
+        self._slot_key[slot] = None
+        del self._slot_of[key]
+        self._free_slots.append(slot)
+        parts = self._row_key_parts(key)
+        if parts is not None:
+            table_name, stored = parts
+            index = self._table_index.get(table_name)
+            if index is not None and stored < index.size:
+                index[stored] = -1
+
+    def _evict_lru(self) -> None:
+        while True:
+            stamp, slot = heapq.heappop(self._heap)
+            if self._slot_key[slot] is None:
+                continue  # slot freed since this entry was pushed
+            current = int(self._slot_stamp[slot])
+            if current != stamp:
+                # Touched (or slot reused) since: refresh the lazy entry.
+                heapq.heappush(self._heap, (current, slot))
+                continue
+            self._remove_slot(slot)
+            return
+
+    def _evict_until_fits(self, needed: int) -> None:
+        while self._slot_of and self._used_bytes + needed > self.capacity_bytes:
+            self._evict_lru()
+            self.stats.evictions += 1
+
+    def _charge_sequential(self, count: int, cost: float, total: float) -> float:
+        """``count`` repetitions of ``total += cost`` as one accumulate."""
+        increments = np.full(count + 1, cost, dtype=np.float64)
+        increments[0] = total
+        return float(np.add.accumulate(increments)[-1])
+
+    # ------------------------------------------------------------ scalar API
+    def get(self, key: CacheKey) -> Optional[bytes]:
+        self.stats.cpu_seconds += self.lookup_cpu_seconds
+        slot = self._slot_of.get(key)
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._slot_stamp[slot] = self._next_stamp()
+        row_len = int(self._slot_len[slot])
+        return self._pools[row_len].data[int(self._slot_row[slot]), :row_len].tobytes()
+
+    def put(self, key: CacheKey, value: bytes) -> bool:
+        self.stats.cpu_seconds += self.insert_cpu_seconds
+        size = self._entry_size(len(value))
+        if size > self.capacity_bytes:
+            self.stats.rejected_inserts += 1
+            return False
+        slot = self._slot_of.get(key)
+        if slot is not None:
+            self._remove_slot(slot)
+        self._evict_until_fits(size)
+        self._insert_entry(key, np.frombuffer(value, dtype=np.uint8))
+        self.stats.inserts += 1
+        return True
+
+    def contains(self, key: CacheKey) -> bool:
+        return key in self._slot_of
+
+    def invalidate(self, key: CacheKey) -> bool:
+        slot = self._slot_of.get(key)
+        if slot is None:
+            return False
+        self._remove_slot(slot)
+        return True
+
+    def clear(self) -> None:
+        self._slot_of.clear()
+        self._slot_key = []
+        self._slot_len = np.zeros(0, dtype=np.int64)
+        self._slot_stamp = np.zeros(0, dtype=np.int64)
+        self._slot_row = np.zeros(0, dtype=np.int64)
+        self._free_slots = []
+        self._pools = {}
+        self._heap = []
+        self._table_index = {}
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def item_count(self) -> int:
+        return len(self._slot_of)
+
+    def keys(self) -> Iterator[CacheKey]:
+        """Iterate keys from least to most recently used (for inspection)."""
+        slots = sorted(self._slot_of.values(), key=lambda slot: int(self._slot_stamp[slot]))
+        return iter([self._slot_key[slot] for slot in slots])
+
+    # ------------------------------------------------------------- batch API
+    def probe_batch(
+        self, table_name: str, stored_indices: np.ndarray, row_len: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Probe ``(table_name, stored)`` for a whole batch of stored rows.
+
+        Equivalent to calling :meth:`get` once per row in input order — same
+        hit/miss/CPU accounting, same final LRU order (for duplicate rows the
+        last occurrence wins, as it would scalar-wise).  Returns a boolean hit
+        mask aligned with the input and the hit rows as one
+        ``(num_hits, row_len)`` uint8 matrix in input order.
+        """
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        count = int(stored.size)
+        if count:
+            self.stats.cpu_seconds = self._charge_sequential(
+                count, self.lookup_cpu_seconds, self.stats.cpu_seconds
+            )
+        index = self._table_index.get(table_name)
+        if index is None or count == 0:
+            self.stats.misses += count
+            return np.zeros(count, dtype=bool), np.empty((0, row_len), dtype=np.uint8)
+        slots = np.full(count, -1, dtype=np.int64)
+        in_range = (stored >= 0) & (stored < index.size)
+        slots[in_range] = index[stored[in_range]]
+        hit_mask = slots >= 0
+        num_hits = int(np.count_nonzero(hit_mask))
+        self.stats.hits += num_hits
+        self.stats.misses += count - num_hits
+        if num_hits == 0:
+            return hit_mask, np.empty((0, row_len), dtype=np.uint8)
+        hit_slots = slots[hit_mask]
+        if not bool(np.all(self._slot_len[hit_slots] == row_len)):
+            raise ValueError(
+                f"table {table_name!r}: cached row length differs from "
+                f"probe row_len {row_len}"
+            )
+        stamps = self._stamp + 1 + np.arange(num_hits, dtype=np.int64)
+        self._stamp += num_hits
+        # Fancy-index assignment applies in order, so a duplicate row keeps
+        # its last (most recent) stamp — matching sequential move-to-end.
+        self._slot_stamp[hit_slots] = stamps
+        values = self._pools[row_len].data[self._slot_row[hit_slots], :row_len]
+        return hit_mask, values
+
+    def fill_batch(
+        self, table_name: str, stored_indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Insert a batch of rows; equivalent to per-row :meth:`put` calls.
+
+        ``values`` is a ``(len(stored_indices), row_len)`` uint8 matrix.
+        Eviction bookkeeping stays per-entry (fills are the miss path), but
+        payload stores go straight matrix-row -> pool-row.
+        """
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        count = int(stored.size)
+        if count == 0:
+            return
+        self.stats.cpu_seconds = self._charge_sequential(
+            count, self.insert_cpu_seconds, self.stats.cpu_seconds
+        )
+        size = self._entry_size(int(values.shape[1]))
+        if size > self.capacity_bytes:
+            self.stats.rejected_inserts += count
+            return
+        for position in range(count):
+            key = (table_name, int(stored[position]))
+            slot = self._slot_of.get(key)
+            if slot is not None:
+                self._remove_slot(slot)
+            self._evict_until_fits(size)
+            self._insert_entry(key, values[position])
+            self.stats.inserts += 1
+
+    def contains_batch(self, table_name: str, stored_indices: np.ndarray) -> np.ndarray:
+        """Vectorised membership test; no stats, no LRU effect."""
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        mask = np.zeros(stored.size, dtype=bool)
+        index = self._table_index.get(table_name)
+        if index is None:
+            return mask
+        in_range = (stored >= 0) & (stored < index.size)
+        mask[in_range] = index[stored[in_range]] >= 0
+        return mask

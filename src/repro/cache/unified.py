@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.cache.admission import AdmissionPolicy, AlwaysAdmit
 from repro.cache.base import CacheKey, CacheStats
@@ -120,6 +122,73 @@ class UnifiedRowCache:
     def contains(self, key: CacheKey) -> bool:
         index = self._partition_index(key)
         return self._memory_caches[index].contains(key) or self._cpu_caches[index].contains(key)
+
+    # ------------------------------------------------------------- batch API
+    def _batch_cache(self, row_len: int):
+        """The single internal cache all ``(table, stored)`` keys of one size
+        route to when there is exactly one partition."""
+        if row_len <= self.config.small_row_threshold_bytes:
+            return self._memory_caches[0]
+        return self._cpu_caches[0]
+
+    def probe_batch(
+        self, table_name: str, stored_indices: np.ndarray, row_len: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`get` with a size hint, one key per stored row.
+
+        Returns ``(hit_mask, values)`` where ``values`` stacks the hit rows as
+        a ``(num_hits, row_len)`` uint8 matrix in input order.  With one
+        partition this is a handful of array ops; with more, an exact scalar
+        fallback keeps partition routing (and stats) unchanged.
+        """
+        if self.config.num_partitions == 1:
+            return self._batch_cache(row_len).probe_batch(table_name, stored_indices, row_len)
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        hit_mask = np.zeros(stored.size, dtype=bool)
+        hits: List[bytes] = []
+        for position in range(stored.size):
+            value = self.get((table_name, int(stored[position])), size_hint=row_len)
+            if value is not None:
+                hit_mask[position] = True
+                hits.append(value)
+        if not hits:
+            return hit_mask, np.empty((0, row_len), dtype=np.uint8)
+        values = np.frombuffer(b"".join(hits), dtype=np.uint8).reshape(len(hits), row_len)
+        return hit_mask, values
+
+    def fill_batch(
+        self, table_name: str, stored_indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Batched :meth:`put`, one key per stored row of a uint8 matrix."""
+        row_len = int(values.shape[1])
+        if self.config.num_partitions == 1 and isinstance(self.admission, AlwaysAdmit):
+            self._batch_cache(row_len).fill_batch(table_name, stored_indices, values)
+            return
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        for position in range(stored.size):
+            self.put((table_name, int(stored[position])), values[position].tobytes())
+
+    def contains_batch(
+        self,
+        table_name: str,
+        stored_indices: np.ndarray,
+        size_hint: Optional[int] = None,
+    ) -> np.ndarray:
+        """Vectorised membership test; no stats, no LRU effect.
+
+        With a size hint only the routed internal cache is consulted — a row
+        of that size can never have been inserted into the other one.
+        """
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        if self.config.num_partitions == 1:
+            if size_hint is not None:
+                return self._batch_cache(size_hint).contains_batch(table_name, stored)
+            memory = self._memory_caches[0].contains_batch(table_name, stored)
+            return memory | self._cpu_caches[0].contains_batch(table_name, stored)
+        mask = np.zeros(stored.size, dtype=bool)
+        for position in range(stored.size):
+            mask[position] = self.contains((table_name, int(stored[position])))
+        return mask
 
     def invalidate(self, key: CacheKey) -> bool:
         index = self._partition_index(key)

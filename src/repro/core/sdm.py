@@ -221,6 +221,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             use_mmap=config.access_path is AccessPathKind.MMAP,
             seed=config.seed,
             fast_row_source=self._fast_row_bytes,
+            fast_matrix_row_source=self._fast_rows_matrix,
             first_device_tier_devices=devices,
         )
 
@@ -342,6 +343,21 @@ class SoftwareDefinedMemory(EmbeddingBackend):
     def _fast_row_bytes(self, table_name: str, stored_index: int) -> bytes:
         """Row source for stored rows homed on the fast tier (row splits)."""
         return self._row_source_bytes(table_name, self._sm_tables[table_name], stored_index)
+
+    def _fast_rows_matrix(self, table_name: str, stored_indices: np.ndarray) -> np.ndarray:
+        """Whole-batch row source for fast-tier-homed stored rows.
+
+        Only row-split tables route stored rows to tier 0 (tables homed
+        whole on the fast tier are served by :meth:`_serve_from_fm`), and
+        row splits exclude pruned/dequantised tables, so the stored bytes
+        are exactly the in-memory table rows — one matrix gather replaces
+        the per-row ``bytes`` round-trip of :meth:`_fast_row_bytes`.
+        """
+        state = self._sm_tables[table_name]
+        data = self.model.table(table_name).data
+        if state.rank_order is not None:
+            return data[state.rank_order[stored_indices]]
+        return data[stored_indices]
 
     def _load_sm_tables(self) -> None:
         """Lay out and write every device-homed table segment onto its tier."""
@@ -558,6 +574,64 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         else:
             stored = index_array
 
+        if self.config.serve_mode == "batched":
+            served = self._serve_batched(table_name, state, indices, stored, cursor)
+            if served is not None:
+                return served
+        return self._serve_scalar(table_name, state, indices, stored, cursor)
+
+    def _serve_batched(
+        self,
+        table_name: str,
+        state: _SMTable,
+        indices: List[int],
+        stored: np.ndarray,
+        cursor: float,
+    ) -> Optional[Tuple[np.ndarray, float]]:
+        """Array-native serve: one whole-batch tier-chain gather.
+
+        Returns ``None`` when the chain cannot replay the scalar walk with
+        bit-identical side effects (a mid-batch promotion hazard); the
+        caller then falls back to :meth:`_serve_scalar` with no tier, cache
+        or timing state perturbed.
+        """
+        valid = stored != PRUNED
+        positions = np.nonzero(valid)[0].astype(np.int64)
+        outcome = self.chain.fetch_batch(
+            table_name,
+            positions,
+            stored[valid],
+            cursor,
+            cache_enabled=state.cache_enabled,
+            size_hint=state.row_bytes,
+        )
+        if outcome is None:
+            return None
+        self.stats.sm_ios += outcome.device_reads
+        cursor = outcome.completion_time
+
+        # Dequantise the whole fetched matrix in one batched call and pool in
+        # the original request order — bit-identical to the scalar decode.
+        rows = np.zeros((len(indices), state.spec.dim), dtype=np.float32)
+        fetched_bytes = outcome.rows.shape[0] * state.row_bytes
+        if outcome.rows.shape[0]:
+            rows[outcome.served_positions] = state.decode_batch(outcome.rows)
+        pooled = rows.sum(axis=0)
+        cursor += fetched_bytes / self.compute.dequant_bytes_per_second
+
+        if self.pooled_cache is not None:
+            self.pooled_cache.put(table_name, indices, pooled)
+        return pooled, cursor
+
+    def _serve_scalar(
+        self,
+        table_name: str,
+        state: _SMTable,
+        indices: List[int],
+        stored: np.ndarray,
+        cursor: float,
+    ) -> Tuple[np.ndarray, float]:
+        """Per-row reference walk (the parity oracle for the batched path)."""
         stored_by_position = [
             (position, stored_index)
             for position, stored_index in enumerate(stored.tolist())

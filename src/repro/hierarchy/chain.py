@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.hierarchy.placement import TieredPlacement
 from repro.hierarchy.tier import PROMOTION_POLICIES, MemoryTier
 
@@ -32,6 +34,25 @@ class FetchOutcome:
     """Result of fetching one batch of stored rows through the chain."""
 
     rows_by_position: Dict[int, bytes]
+    completion_time: float
+    device_reads: int = 0
+    fast_rows: int = 0
+    cache_hits: int = 0
+    probe_seconds: float = 0.0
+    reads_by_tier: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class BatchFetchOutcome:
+    """Array-native result of :meth:`TierChain.fetch_batch`.
+
+    ``rows`` stacks the served payloads as one uint8 matrix aligned with
+    ``served_positions`` (ascending request positions); everything else
+    matches :class:`FetchOutcome` field for field.
+    """
+
+    rows: np.ndarray
+    served_positions: np.ndarray
     completion_time: float
     device_reads: int = 0
     fast_rows: int = 0
@@ -72,6 +93,7 @@ class TierChain:
         # Which tiers carry a cache never changes after construction, so the
         # per-home-tier probe lists (walked for every row) are precomputed.
         cached = [index for index, tier in enumerate(self.tiers) if tier.cache is not None]
+        self._cached_tiers: List[int] = cached
         self._upper_cache_indices: List[List[int]] = [
             [index for index in cached if index < home_tier]
             for home_tier in range(len(self.tiers) + 1)
@@ -179,6 +201,174 @@ class TierChain:
                 for target in targets:
                     self.tiers[target].fill_cache((table_name, stored), read.data)
 
+        outcome.completion_time = max(cursor, io_done)
+        return outcome
+
+    def fetch_batch(
+        self,
+        table_name: str,
+        positions: np.ndarray,
+        stored: np.ndarray,
+        start_time: float,
+        *,
+        cache_enabled: bool = True,
+        size_hint: Optional[int] = None,
+    ) -> Optional[BatchFetchOutcome]:
+        """Array-native :meth:`fetch_rows`: the whole batch flows as arrays.
+
+        Partitions the batch by home tier with one segment lookup, probes
+        each tier's cache once for all eligible rows, gathers tier-0 payloads
+        as one matrix, and issues one grouped ``read_rows`` per device tier.
+        Time is charged with the same serial-probe-then-concurrent-IO cost
+        model as the scalar path — the probe/hit/fast increments are replayed
+        in scalar walk order through ``np.add.accumulate``, whose left-to-
+        right addition chain makes the accrued floats bit-identical.
+
+        Returns ``None`` when the batch cannot be served by array ops with
+        bit-identical side effects: no ``size_hint`` (uniform row length), or
+        a cache hit below tier 0 whose promotion policy would fill upper
+        caches mid-walk and perturb later probes.  Callers fall back to the
+        scalar :meth:`fetch_rows` oracle, which is always exact.
+        """
+        if size_hint is None:
+            return None
+        positions = np.asarray(positions, dtype=np.int64)
+        stored = np.asarray(stored, dtype=np.int64)
+        count = int(stored.size)
+        decision = self.placement.for_table(table_name)
+        home_tiers = (
+            decision.tiers_of_rows(stored)
+            if count
+            else np.zeros(0, dtype=np.int64)
+        )
+
+        # Plan (non-mutating): the first cached tier that holds each row.  A
+        # hit below tier 0 with a non-empty promotion target list would fill
+        # upper caches between probes — only the scalar walk models that.
+        hit_tier = np.full(count, -1, dtype=np.int64)
+        if cache_enabled and count:
+            unresolved = np.ones(count, dtype=bool)
+            for tier_index in self._cached_tiers:
+                eligible = unresolved & (home_tiers > tier_index)
+                if not bool(eligible.any()):
+                    continue
+                contained = self.tiers[tier_index].cache_contains_batch(
+                    table_name, stored[eligible], size_hint
+                )
+                if bool(contained.any()):
+                    if tier_index >= 1 and self._promotion_targets(tier_index):
+                        return None
+                    rows_at = np.nonzero(eligible)[0][contained]
+                    hit_tier[rows_at] = tier_index
+                    unresolved[rows_at] = False
+
+        rows_out = np.zeros((count, size_hint), dtype=np.uint8)
+        served = np.zeros(count, dtype=bool)
+        cache_hits = 0
+
+        # Mutating probes: one batched probe per cached tier, in tier order.
+        # Each cache sees exactly the scalar walk's probe sequence (rows in
+        # request order), so stats, CPU charges and LRU order are identical.
+        if cache_enabled and count:
+            resolved = np.zeros(count, dtype=bool)
+            for tier_index in self._cached_tiers:
+                walk = (home_tiers > tier_index) & ~resolved
+                if not bool(walk.any()):
+                    continue
+                hit_mask, values = self.tiers[tier_index].probe_cache_batch(
+                    table_name, stored[walk], size_hint
+                )
+                if values.shape[0]:
+                    rows_at = np.nonzero(walk)[0][hit_mask]
+                    rows_out[rows_at] = values
+                    served[rows_at] = True
+                    resolved[rows_at] = True
+                    cache_hits += int(values.shape[0])
+
+        # Tier-0-homed rows: one matrix gather from the in-memory tables.
+        fm_mask = (home_tiers == 0) if count else np.zeros(0, dtype=bool)
+        num_fast = int(np.count_nonzero(fm_mask))
+        if num_fast:
+            fast = self.tiers[0]
+            matrix = fast.read_rows_matrix(table_name, stored[fm_mask])
+            if matrix is None:
+                reads = fast.read_rows(
+                    table_name, [int(index) for index in stored[fm_mask]], start_time
+                )
+                matrix = np.frombuffer(
+                    b"".join(read.data for read in reads), dtype=np.uint8
+                ).reshape(num_fast, size_hint)
+            rows_out[fm_mask] = matrix
+            served[fm_mask] = True
+            fast.stats.rows_served += num_fast
+            fast.stats.bytes_served += num_fast * size_hint
+
+        # Replay the scalar walk's time accrual: per row, one probe charge per
+        # walked cache, then the hit/fast terminal increment.  Zero padding is
+        # bitwise-neutral (x + 0.0 == x for the positive cursor).
+        num_cached = len(self._cached_tiers)
+        increments = np.zeros((count, num_cached + 1), dtype=np.float64)
+        total_probes = 0
+        if cache_enabled and count:
+            for column, tier_index in enumerate(self._cached_tiers):
+                walked = (home_tiers > tier_index) & (
+                    (hit_tier < 0) | (hit_tier >= tier_index)
+                )
+                increments[walked, column] = self.cache_probe_seconds
+                total_probes += int(np.count_nonzero(walked))
+            for tier_index in self._cached_tiers:
+                hits_here = hit_tier == tier_index
+                if bool(hits_here.any()):
+                    increments[hits_here, num_cached] = self.tiers[
+                        tier_index
+                    ].cache_hit_seconds(size_hint)
+        if num_fast:
+            increments[fm_mask, num_cached] = (
+                self.fm_lookup_overhead + size_hint / self.fm_bandwidth
+            )
+        chain = np.concatenate(([start_time], increments.ravel()))
+        cursor = float(np.add.accumulate(chain)[-1])
+        probe_chain = np.concatenate(
+            ([0.0], np.full(total_probes, self.cache_probe_seconds))
+        )
+        probe_seconds = float(np.add.accumulate(probe_chain)[-1])
+
+        # Misses: group by home tier in first-occurrence row order and issue
+        # the identical grouped read_rows calls the scalar path would.
+        outcome = BatchFetchOutcome(
+            rows=rows_out,
+            served_positions=positions,
+            completion_time=start_time,
+            cache_hits=cache_hits,
+            fast_rows=num_fast,
+            probe_seconds=probe_seconds,
+        )
+        io_done = cursor
+        misses_by_tier: Dict[int, List[int]] = {}
+        for row in np.nonzero(~served)[0].tolist():
+            misses_by_tier.setdefault(int(home_tiers[row]), []).append(row)
+        for tier_index, miss_rows in misses_by_tier.items():
+            tier = self.tiers[tier_index]
+            reads = tier.read_rows(
+                table_name, [int(stored[row]) for row in miss_rows], cursor
+            )
+            outcome.device_reads += len(reads)
+            outcome.reads_by_tier[tier_index] = (
+                outcome.reads_by_tier.get(tier_index, 0) + len(reads)
+            )
+            targets = self._promotion_targets(tier_index) if cache_enabled else []
+            for row, read in zip(miss_rows, reads):
+                rows_out[row] = np.frombuffer(read.data, dtype=np.uint8)
+                served[row] = True
+                io_done = max(io_done, read.completion_time)
+                for target in targets:
+                    self.tiers[target].fill_cache(
+                        (table_name, int(stored[row])), read.data
+                    )
+
+        if not bool(served.all()):
+            outcome.rows = rows_out[served]
+            outcome.served_positions = positions[served]
         outcome.completion_time = max(cursor, io_done)
         return outcome
 

@@ -29,6 +29,8 @@ import abc
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.cache.base import CacheKey
 from repro.cache.unified import UnifiedCacheConfig, UnifiedRowCache
 from repro.sim.units import BLOCK_SIZE, parse_size
@@ -344,6 +346,42 @@ class MemoryTier(abc.ABC):
             self.stats.bytes_served += len(value)
         return value
 
+    def probe_cache_batch(
+        self, table_name: str, stored_indices: np.ndarray, row_len: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`probe_cache`: one probe per stored row, in order.
+
+        Stats and cache LRU/CPU effects are identical to calling the scalar
+        probe once per row.  Returns ``(hit_mask, values)`` with the hit rows
+        stacked as a ``(num_hits, row_len)`` uint8 matrix in input order.
+        """
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        if self.cache is None:
+            return np.zeros(stored.size, dtype=bool), np.empty((0, row_len), dtype=np.uint8)
+        self.stats.cache_probes += int(stored.size)
+        hit_mask, values = self.cache.probe_batch(table_name, stored, row_len)
+        num_hits = int(values.shape[0])
+        self.stats.cache_hits += num_hits
+        self.stats.rows_served += num_hits
+        self.stats.bytes_served += num_hits * row_len
+        return hit_mask, values
+
+    def cache_contains_batch(
+        self, table_name: str, stored_indices: np.ndarray, row_len: int
+    ) -> np.ndarray:
+        """Vectorised cache membership test; no stats, no LRU effect."""
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        if self.cache is None:
+            return np.zeros(stored.size, dtype=bool)
+        return self.cache.contains_batch(table_name, stored, size_hint=row_len)
+
+    def read_rows_matrix(
+        self, table_name: str, stored_indices: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Batched payload gather for rows homed on this tier, as one uint8
+        matrix, or ``None`` when the tier has no array-native source."""
+        return None
+
     def fill_cache(self, key: CacheKey, value: bytes) -> bool:
         """Insert a row read from a slower tier into this tier's cache."""
         if self.cache is None:
@@ -395,6 +433,7 @@ class FastTier(MemoryTier):
         spec: TierSpec,
         cache: Optional[UnifiedRowCache] = None,
         row_source: Optional[Callable[[str, int], bytes]] = None,
+        matrix_row_source: Optional[Callable[[str, np.ndarray], np.ndarray]] = None,
     ) -> None:
         if not spec.is_fast:
             raise ValueError(f"FastTier needs a dram spec, got {spec.technology.value!r}")
@@ -402,6 +441,7 @@ class FastTier(MemoryTier):
         self.cache = cache
         self.stats = TierStats()
         self._row_source = row_source
+        self._matrix_row_source = matrix_row_source
 
     def read_rows(
         self, table_name: str, stored_indices: Sequence[int], start_time: float
@@ -426,6 +466,19 @@ class FastTier(MemoryTier):
                 )
             )
         return results
+
+    def read_rows_matrix(
+        self, table_name: str, stored_indices: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Serve tier-0-homed rows straight from the in-memory table arrays.
+
+        Bypasses the per-row ``bytes`` round-trip of :meth:`read_rows` — the
+        payloads are one advanced-indexing gather.  Side-effect free, exactly
+        like the scalar fast read; the chain does the stats accounting.
+        """
+        if self._matrix_row_source is None:
+            return None
+        return self._matrix_row_source(table_name, np.asarray(stored_indices, dtype=np.int64))
 
     def fm_footprint_bytes(self) -> int:
         return self.cache.capacity_bytes if self.cache is not None else 0
@@ -620,6 +673,7 @@ def build_tiers(
     use_mmap: bool = False,
     seed: int = 0,
     fast_row_source: Optional[Callable[[str, int], bytes]] = None,
+    fast_matrix_row_source: Optional[Callable[[str, np.ndarray], np.ndarray]] = None,
     first_device_tier_devices: Optional[Sequence[SimulatedDevice]] = None,
 ) -> List[MemoryTier]:
     """Materialise runtime tiers from an ordered spec list (fastest first).
@@ -635,7 +689,14 @@ def build_tiers(
     first_device_tier = True
     for spec in specs:
         if spec.is_fast:
-            tiers.append(FastTier(spec, cache=fast_cache, row_source=fast_row_source))
+            tiers.append(
+                FastTier(
+                    spec,
+                    cache=fast_cache,
+                    row_source=fast_row_source,
+                    matrix_row_source=fast_matrix_row_source,
+                )
+            )
             continue
         tiers.append(
             DeviceTier(

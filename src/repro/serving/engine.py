@@ -251,6 +251,7 @@ class ServingEngine:
         arrival_times: Sequence[float],
         queue_depth: int = 64,
         warmup_queries: int = 0,
+        serve_batch: int = 1,
     ) -> OpenLoopResult:
         """Serve ``queries`` arriving at ``arrival_times`` (open loop).
 
@@ -260,9 +261,17 @@ class ServingEngine:
         admission queue of capacity ``queue_depth``; if the queue is full the
         query is shed (counted, not served).  ``queue_depth=0`` models a pure
         loss system.
+
+        ``serve_batch`` is how many waiting queries a freed stream drains at
+        once: each query in the drained batch is dispatched at the same
+        simulated instant (FIFO order, per-query records), and the stream
+        stays busy until the last of them completes.  The default of 1 is
+        exactly the classic one-query-per-dispatch behaviour.
         """
         if queue_depth < 0:
             raise ValueError(f"queue_depth must be non-negative: {queue_depth}")
+        if serve_batch < 1:
+            raise ValueError(f"serve_batch must be positive: {serve_batch}")
         measured = self._run_warmup(queries, warmup_queries)
         if len(arrival_times) != len(measured):
             raise ValueError(
@@ -287,36 +296,42 @@ class ServingEngine:
         results: List[QueryResult] = []
         dropped = [0]
 
-        def start_service(query: Query, arrival: float) -> None:
+        def start_service(batch: List[Tuple[Query, float]]) -> None:
             free_servers[0] -= 1
             now = sim.clock.now
-            result = self.engine.run_query(query, start_time=now)
-            completion = now + result.latency
-            latencies.append(completion - arrival)
-            queue_delays.append(now - arrival)
-            service_times.append(result.latency)
-            if self.store_results:
-                results.append(result)
-                records.append(
-                    QueryRecord(
-                        query_id=query.query_id,
-                        arrival_time=arrival,
-                        start_time=now,
-                        completion_time=completion,
+            batch_done = now
+            for query, arrival in batch:
+                result = self.engine.run_query(query, start_time=now)
+                completion = now + result.latency
+                batch_done = max(batch_done, completion)
+                latencies.append(completion - arrival)
+                queue_delays.append(now - arrival)
+                service_times.append(result.latency)
+                if self.store_results:
+                    results.append(result)
+                    records.append(
+                        QueryRecord(
+                            query_id=query.query_id,
+                            arrival_time=arrival,
+                            start_time=now,
+                            completion_time=completion,
+                        )
                     )
-                )
-            sim.schedule_at(completion, on_complete)
+            sim.schedule_at(batch_done, on_complete)
 
         def on_complete() -> None:
             free_servers[0] += 1
             if waiting:
-                query, arrival = waiting.popleft()
-                start_service(query, arrival)
+                batch = [
+                    waiting.popleft()
+                    for _ in range(min(serve_batch, len(waiting)))
+                ]
+                start_service(batch)
 
         def on_arrival(query: Query) -> None:
             arrival = sim.clock.now
             if free_servers[0] > 0:
-                start_service(query, arrival)
+                start_service([(query, arrival)])
             elif len(waiting) < queue_depth:
                 waiting.append((query, arrival))
             else:

@@ -88,14 +88,15 @@ def generate_arrival_times(
     seed: int = 0,
     trace: Optional[Sequence[float]] = None,
     start_time: float = 0.0,
-) -> List[float]:
+) -> np.ndarray:
     """Absolute arrival timestamps for an open-loop query stream.
 
     ``poisson`` draws exponential inter-arrival gaps at rate ``offered_qps``
     (seeded via :func:`repro.sim.rng.make_rng`, so streams are reproducible),
     ``constant`` spaces arrivals exactly ``1/offered_qps`` apart, and
     ``trace`` replays the first ``num_queries`` timestamps of a recorded
-    ``trace`` (which must be non-negative and non-decreasing).
+    ``trace`` (which must be non-negative and non-decreasing).  Returns a
+    float64 ndarray, so million-query schedules stay one contiguous buffer.
     """
     if num_queries <= 0:
         raise ValueError(f"num_queries must be positive: {num_queries}")
@@ -111,28 +112,38 @@ def generate_arrival_times(
                 f"trace arrivals need at least num_queries ({num_queries}) "
                 f"timestamps, got {0 if trace is None else len(trace)}"
             )
-        times = [start_time + float(t) for t in trace[:num_queries]]
-        previous = 0.0
-        for time in times:
-            if time < 0:
-                raise ValueError(f"trace timestamps must be non-negative: {time}")
-            if time < previous:
-                raise ValueError("trace timestamps must be non-decreasing")
-            previous = time
+        times = start_time + np.asarray(trace[:num_queries], dtype=np.float64)
+        if bool((times < 0).any()):
+            raise ValueError(
+                f"trace timestamps must be non-negative: {float(times.min())}"
+            )
+        if bool((np.diff(times) < 0).any()):
+            raise ValueError("trace timestamps must be non-decreasing")
         return times
     if offered_qps is None or offered_qps <= 0:
         raise ValueError(
             f"{process} arrivals need a positive offered_qps: {offered_qps}"
         )
     if process == "constant":
-        return [start_time + position / offered_qps for position in range(num_queries)]
+        return start_time + np.arange(num_queries, dtype=np.float64) / offered_qps
     rng = make_rng(seed, "arrivals", process)
     gaps = rng.exponential(1.0 / offered_qps, size=num_queries)
-    return (start_time + np.cumsum(gaps) - gaps[0]).tolist()
+    return start_time + np.cumsum(gaps) - gaps[0]
 
 
 class QueryGenerator:
-    """Generates reproducible query streams for a model."""
+    """Generates reproducible query streams for a model.
+
+    Randomness is organised as one named :func:`~repro.sim.rng.make_rng`
+    stream per draw *purpose* (reuse decisions, sequence-repeat decisions,
+    pooling jitter, pool positions, dense features), and every query consumes
+    a fixed number of draws from each — decisions read pre-drawn uniforms
+    instead of branching on whether to draw.  That layout makes
+    :meth:`generate` one batched NumPy draw per purpose for the whole stream,
+    while ``generate(n)`` stays exactly ``[generate_query() for _ in
+    range(n)]``: NumPy generators produce the same value sequence whatever
+    the request chunking, so only the loop overhead changes.
+    """
 
     def __init__(
         self,
@@ -143,7 +154,12 @@ class QueryGenerator:
         self.model = model
         self.config = config if config is not None else WorkloadConfig()
         self.seed = seed
-        self._rng = make_rng(seed, "query-generator", model.name)
+        name = model.name
+        self._reuse_rng = make_rng(seed, "query-generator", name, "user-reuse")
+        self._repeat_rng = make_rng(seed, "query-generator", name, "sequence-repeat")
+        self._jitter_rng = make_rng(seed, "query-generator", name, "pooling-jitter")
+        self._pool_rng = make_rng(seed, "query-generator", name, "pool-position")
+        self._dense_rng = make_rng(seed, "query-generator", name, "dense-features")
         self._user_ids = ZipfGenerator(
             self.config.num_users, self.config.user_zipf_alpha, seed=seed
         )
@@ -161,26 +177,29 @@ class QueryGenerator:
         self._next_query_id = 0
 
     # ---------------------------------------------------------------- helpers
-    def _pooling_count(self, spec: EmbeddingTableSpec) -> int:
-        jitter = self.config.pooling_factor_jitter
-        factor = spec.avg_pooling_factor
-        if jitter > 0:
-            factor *= 1.0 + self._rng.uniform(-jitter, jitter)
+    def _pooling_count(self, spec: EmbeddingTableSpec, jitter_draw: float) -> int:
+        factor = spec.avg_pooling_factor * (
+            1.0 + self.config.pooling_factor_jitter * jitter_draw
+        )
         count = max(int(round(factor)), 1)
         return min(count, spec.num_rows)
 
-    def _indices_for_table(self, spec: EmbeddingTableSpec) -> List[int]:
+    def _indices_for_table(
+        self,
+        spec: EmbeddingTableSpec,
+        repeat_draw: float,
+        jitter_draw: float,
+        pick_draw: float,
+        replace_draw: float,
+    ) -> List[int]:
+        """One table-sequence slot, driven entirely by pre-drawn uniforms."""
         pool = self._sequence_pools[spec.name]
-        reuse = (
-            pool
-            and self._rng.random() < self.config.sequence_repeat_probability
-        )
-        if reuse:
-            return list(pool[int(self._rng.integers(len(pool)))])
-        count = self._pooling_count(spec)
+        if pool and repeat_draw < self.config.sequence_repeat_probability:
+            return list(pool[min(int(pick_draw * len(pool)), len(pool) - 1)])
+        count = self._pooling_count(spec, jitter_draw)
         indices = self._table_generators[spec.name].sample(count, unique=True).tolist()
         if len(pool) >= self.config.sequence_pool_size:
-            pool[int(self._rng.integers(len(pool)))] = indices
+            pool[min(int(replace_draw * len(pool)), len(pool) - 1)] = indices
         else:
             pool.append(indices)
         return list(indices)
@@ -188,43 +207,80 @@ class QueryGenerator:
     # -------------------------------------------------------------------- API
     def generate_query(self, item_batch: Optional[int] = None) -> Query:
         """Generate the next query in the stream."""
+        return self.generate(1, item_batch)[0]
+
+    def generate(self, num_queries: int, item_batch: Optional[int] = None) -> List[Query]:
+        """Generate a list of queries with one batched RNG draw per purpose."""
+        if num_queries <= 0:
+            raise ValueError(f"num_queries must be positive: {num_queries}")
         batch = item_batch if item_batch is not None else self.config.item_batch
         if batch <= 0:
             raise ValueError(f"item_batch must be positive: {batch}")
-        user_id = int(self._user_ids.sample(1)[0])
-        remembered = self._user_memory.setdefault(user_id, {})
-        user_indices: Dict[str, List[int]] = {}
-        for spec in self.model.user_table_specs:
-            reuse = (
-                spec.name in remembered
-                and self._rng.random() < self.config.user_reuse_probability
-            )
-            if reuse:
-                user_indices[spec.name] = list(remembered[spec.name])
-            else:
-                indices = self._indices_for_table(spec)
-                remembered[spec.name] = list(indices)
-                user_indices[spec.name] = indices
-        item_indices = {
-            spec.name: [self._indices_for_table(spec) for _ in range(batch)]
-            for spec in self.model.item_table_specs
-        }
-        dense = self._rng.normal(0.0, 1.0, size=self.model.dense_dim).astype(np.float32)
-        query = Query(
-            query_id=self._next_query_id,
-            user_id=user_id,
-            dense_features=dense,
-            user_indices=user_indices,
-            item_indices=item_indices,
-        )
-        self._next_query_id += 1
-        return query
+        user_specs = self.model.user_table_specs
+        item_specs = self.model.item_table_specs
+        num_user = len(user_specs)
+        # One sequence slot per user table plus one per (item table, batch
+        # position); every slot consumes its repeat/jitter/pool draws whether
+        # or not the decision path uses them, so the counts are static.
+        slots = num_user + len(item_specs) * batch
+        count = num_queries
+        user_id_draws = self._user_ids.sample(count)
+        reuse_draws = self._reuse_rng.random((count, num_user))
+        repeat_draws = self._repeat_rng.random((count, slots))
+        jitter_draws = self._jitter_rng.uniform(-1.0, 1.0, (count, slots))
+        pool_draws = self._pool_rng.random((count, slots, 2))
+        dense_draws = self._dense_rng.normal(
+            0.0, 1.0, (count, self.model.dense_dim)
+        ).astype(np.float32)
 
-    def generate(self, num_queries: int, item_batch: Optional[int] = None) -> List[Query]:
-        """Generate a list of queries."""
-        if num_queries <= 0:
-            raise ValueError(f"num_queries must be positive: {num_queries}")
-        return [self.generate_query(item_batch) for _ in range(num_queries)]
+        queries: List[Query] = []
+        for position in range(count):
+            user_id = int(user_id_draws[position])
+            remembered = self._user_memory.setdefault(user_id, {})
+            user_indices: Dict[str, List[int]] = {}
+            for slot, spec in enumerate(user_specs):
+                reuse = (
+                    spec.name in remembered
+                    and reuse_draws[position, slot] < self.config.user_reuse_probability
+                )
+                if reuse:
+                    user_indices[spec.name] = list(remembered[spec.name])
+                else:
+                    indices = self._indices_for_table(
+                        spec,
+                        repeat_draws[position, slot],
+                        jitter_draws[position, slot],
+                        pool_draws[position, slot, 0],
+                        pool_draws[position, slot, 1],
+                    )
+                    remembered[spec.name] = list(indices)
+                    user_indices[spec.name] = indices
+            item_indices: Dict[str, List[List[int]]] = {}
+            for table_at, spec in enumerate(item_specs):
+                per_item: List[List[int]] = []
+                for item_at in range(batch):
+                    slot = num_user + table_at * batch + item_at
+                    per_item.append(
+                        self._indices_for_table(
+                            spec,
+                            repeat_draws[position, slot],
+                            jitter_draws[position, slot],
+                            pool_draws[position, slot, 0],
+                            pool_draws[position, slot, 1],
+                        )
+                    )
+                item_indices[spec.name] = per_item
+            queries.append(
+                Query(
+                    query_id=self._next_query_id,
+                    user_id=user_id,
+                    dense_features=dense_draws[position],
+                    user_indices=user_indices,
+                    item_indices=item_indices,
+                )
+            )
+            self._next_query_id += 1
+        return queries
 
     def access_trace(self, queries: Sequence[Query], table_name: str) -> List[int]:
         """Flatten the row accesses a query stream makes to one table."""

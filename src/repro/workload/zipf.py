@@ -53,20 +53,20 @@ class ZipfGenerator:
             uniform = self._rng.random(count)
             ranks = np.searchsorted(self._cdf, uniform, side="left")
             return self._id_map[ranks]
-        chosen: list[int] = []
-        seen: set[int] = set()
+        chosen = np.empty(0, dtype=np.int64)
         # Rejection sampling; pooling factors are far smaller than table
-        # cardinality so this terminates quickly in practice.
-        while len(chosen) < count:
-            needed = count - len(chosen)
-            draws = self.sample(needed * 2 + 8, unique=False)
-            for value in draws.tolist():
-                if value not in seen:
-                    seen.add(value)
-                    chosen.append(value)
-                    if len(chosen) == count:
-                        break
-        return np.asarray(chosen, dtype=np.int64)
+        # cardinality so this terminates quickly in practice.  Each round
+        # keeps the first occurrence of every not-yet-chosen value in draw
+        # order, so the result (and the RNG stream consumed) is exactly the
+        # per-value scan it replaces.
+        while chosen.size < count:
+            needed = count - chosen.size
+            draws = self.sample(needed * 2 + 8, unique=False).astype(np.int64)
+            fresh = draws[~np.isin(draws, chosen)]
+            _, first_at = np.unique(fresh, return_index=True)
+            fresh = fresh[np.sort(first_at)]
+            chosen = np.concatenate([chosen, fresh[:needed]])
+        return chosen
 
     def expected_top_fraction_coverage(self, fraction: float) -> float:
         """Analytic fraction of accesses landing on the hottest ``fraction`` of rows."""

@@ -348,6 +348,18 @@ class TestTrafficSpec:
             TrafficSpec(mode="open", arrival="trace")  # no trace
         with pytest.raises(ValueError):
             TrafficSpec(queue_depth=-1)
+        with pytest.raises(ValueError):
+            TrafficSpec(serve_batch=0)
+
+    def test_serve_batch_round_trips_through_json(self):
+        spec = ScenarioSpec(
+            traffic=TrafficSpec(
+                mode="open", arrival="poisson", offered_qps=100.0, serve_batch=8
+            )
+        )
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.traffic.serve_batch == 8
 
     def test_replace_traffic_path(self):
         spec = ScenarioSpec().replace("traffic.offered_qps", 80.0)
@@ -407,6 +419,12 @@ class TestOpenLoopSession:
         hot = Session(self._open_spec(offered_qps=3.0 * capacity)).run()
         assert hot.latency["p99"] > closed.latency["p99"]
         assert hot.queueing["p99"] > 0.0
+
+    def test_serve_batch_reaches_the_engine_and_the_result(self):
+        result = Session(self._open_spec(serve_batch=4)).run()
+        assert result.serve_batch == 4
+        assert result.to_dict()["serve_batch"] == 4
+        assert ["serve batch", 4] in result.summary_rows()
 
     def test_store_results_false_drops_raw_results(self):
         spec = self._open_spec()

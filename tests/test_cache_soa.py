@@ -1,0 +1,184 @@
+"""Equivalence tests for the structure-of-arrays LRU cache.
+
+``SoALRUCache`` is the array-native engine behind the batched serve core;
+its contract is *bit-identical observables* to ``LRUCache`` — same hits,
+misses, evictions, eviction order, ``used_bytes`` and modelled CPU
+seconds — whether it is driven through the scalar API or the batch API.
+These tests drive both caches through mirrored operation sequences and
+compare every observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache
+from repro.cache.soa import SoALRUCache
+from repro.sim.rng import make_rng
+
+
+def _pair(capacity=1024, overhead=0):
+    return (
+        LRUCache(capacity, per_item_overhead_bytes=overhead),
+        SoALRUCache(capacity, per_item_overhead_bytes=overhead),
+    )
+
+
+def _row(table, stored, row_len=8):
+    rng = make_rng(0, "soa-test-row", table, stored)
+    return rng.integers(0, 256, size=row_len, dtype=np.uint8).tobytes()
+
+
+def _assert_same_observables(reference, soa):
+    assert soa.stats.hits == reference.stats.hits
+    assert soa.stats.misses == reference.stats.misses
+    assert soa.stats.inserts == reference.stats.inserts
+    assert soa.stats.evictions == reference.stats.evictions
+    assert soa.stats.rejected_inserts == reference.stats.rejected_inserts
+    assert soa.stats.cpu_seconds == reference.stats.cpu_seconds
+    assert soa.used_bytes == reference.used_bytes
+    assert soa.item_count == reference.item_count
+    assert list(soa.keys()) == list(reference.keys())
+
+
+class TestScalarEquivalence:
+    def test_random_op_sequence_matches_lru(self):
+        reference, soa = _pair(capacity=40 * 16, overhead=8)
+        rng = make_rng(0, "soa-test", "scalar-ops")
+        for _ in range(2000):
+            stored = int(rng.integers(0, 64))
+            key = ("t", stored)
+            op = rng.random()
+            if op < 0.5:
+                assert soa.get(key) == reference.get(key)
+            elif op < 0.9:
+                value = _row("t", stored)
+                assert soa.put(key, value) == reference.put(key, value)
+            else:
+                assert soa.contains(key) == reference.contains(key)
+            _assert_same_observables(reference, soa)
+
+    def test_non_row_keys_supported(self):
+        reference, soa = _pair()
+        for cache in (reference, soa):
+            cache.put("plain-string", b"v1")
+            cache.put(("tuple", "of", "strings"), b"v2")
+        assert soa.get("plain-string") == reference.get("plain-string")
+        assert soa.get(("tuple", "of", "strings")) == reference.get(
+            ("tuple", "of", "strings")
+        )
+        _assert_same_observables(reference, soa)
+
+    def test_oversized_value_rejected(self):
+        reference, soa = _pair(capacity=16)
+        for cache in (reference, soa):
+            assert not cache.put(("t", 0), bytes(64))
+        _assert_same_observables(reference, soa)
+
+    def test_invalidate_and_clear(self):
+        reference, soa = _pair()
+        for cache in (reference, soa):
+            cache.put(("t", 1), b"a")
+            cache.put(("t", 2), b"b")
+            assert cache.invalidate(("t", 1))
+            assert not cache.invalidate(("t", 1))
+        _assert_same_observables(reference, soa)
+        for cache in (reference, soa):
+            cache.clear()
+        _assert_same_observables(reference, soa)
+        # The index survives a clear: new inserts must still be found.
+        for cache in (reference, soa):
+            cache.put(("t", 2), b"c")
+        assert soa.get(("t", 2)) == reference.get(("t", 2))
+        _assert_same_observables(reference, soa)
+
+    def test_eviction_order_is_lru(self):
+        reference, soa = _pair(capacity=3 * 4, overhead=0)
+        for cache in (reference, soa):
+            cache.put(("t", 0), b"aaaa")
+            cache.put(("t", 1), b"bbbb")
+            cache.put(("t", 2), b"cccc")
+            cache.get(("t", 0))  # touch: 0 becomes most recent
+            cache.put(("t", 3), b"dddd")  # evicts 1, the least recent
+        assert soa.contains(("t", 0)) and reference.contains(("t", 0))
+        assert not soa.contains(("t", 1)) and not reference.contains(("t", 1))
+        _assert_same_observables(reference, soa)
+
+
+class TestBatchEquivalence:
+    def test_probe_batch_equals_scalar_gets(self):
+        reference, soa = _pair(capacity=4096)
+        rng = make_rng(0, "soa-test", "probe-batch")
+        row_len = 8
+        for stored in range(24):
+            value = _row("t", stored, row_len)
+            reference.put(("t", stored), value)
+            soa.put(("t", stored), value)
+        for _ in range(50):
+            stored = rng.integers(-4, 40, size=16)  # includes misses + negatives
+            expected = [reference.get(("t", int(s))) for s in stored]
+            hit_mask, values = soa.probe_batch("t", stored, row_len)
+            assert list(hit_mask) == [row is not None for row in expected]
+            hits = [row for row in expected if row is not None]
+            assert [bytes(v) for v in values] == hits
+            _assert_same_observables(reference, soa)
+
+    def test_fill_batch_equals_scalar_puts(self):
+        reference, soa = _pair(capacity=24 * 16, overhead=8)
+        rng = make_rng(0, "soa-test", "fill-batch")
+        row_len = 8
+        for _ in range(40):
+            stored = rng.integers(0, 64, size=8)
+            matrix = np.stack(
+                [
+                    np.frombuffer(_row("t", int(s), row_len), dtype=np.uint8)
+                    for s in stored
+                ]
+            )
+            for s, row in zip(stored, matrix):
+                reference.put(("t", int(s)), row.tobytes())
+            soa.fill_batch("t", stored, matrix)
+            _assert_same_observables(reference, soa)
+
+    def test_contains_batch_has_no_side_effects(self):
+        _, soa = _pair()
+        soa.put(("t", 3), b"x")
+        before = (soa.stats.hits, soa.stats.misses, soa.stats.cpu_seconds)
+        mask = soa.contains_batch("t", np.array([-1, 0, 3, 99]))
+        assert list(mask) == [False, False, True, False]
+        assert (soa.stats.hits, soa.stats.misses, soa.stats.cpu_seconds) == before
+
+    def test_probe_batch_duplicate_rows_keep_last_stamp(self):
+        reference, soa = _pair(capacity=2 * 4)
+        for cache in (reference, soa):
+            cache.put(("t", 0), b"aaaa")
+            cache.put(("t", 1), b"bbbb")
+        # Scalar walk: get(0), get(1), get(0) leaves 1 least-recent.
+        for s in (0, 1, 0):
+            reference.get(("t", s))
+        soa.probe_batch("t", np.array([0, 1, 0]), 4)
+        for cache in (reference, soa):
+            cache.put(("t", 2), b"cccc")  # evicts 1 in both
+        assert not soa.contains(("t", 1)) and not reference.contains(("t", 1))
+        _assert_same_observables(reference, soa)
+
+    def test_probe_batch_row_length_mismatch_raises(self):
+        _, soa = _pair()
+        soa.put(("t", 0), b"aaaa")
+        with pytest.raises(ValueError):
+            soa.probe_batch("t", np.array([0]), 8)
+
+    def test_fill_batch_oversized_rows_all_rejected(self):
+        reference, soa = _pair(capacity=4)
+        stored = np.array([0, 1, 2])
+        matrix = np.zeros((3, 64), dtype=np.uint8)
+        for s, row in zip(stored, matrix):
+            reference.put(("t", int(s)), row.tobytes())
+        soa.fill_batch("t", stored, matrix)
+        _assert_same_observables(reference, soa)
+
+    def test_empty_batches_are_noops(self):
+        _, soa = _pair()
+        hit_mask, values = soa.probe_batch("t", np.empty(0, dtype=np.int64), 4)
+        assert hit_mask.size == 0 and values.shape == (0, 4)
+        soa.fill_batch("t", np.empty(0, dtype=np.int64), np.empty((0, 4), np.uint8))
+        assert soa.stats.inserts == 0 and soa.stats.cpu_seconds == 0.0

@@ -165,6 +165,42 @@ class TestOpenLoop:
             serving.run_open_loop(queries, list(reversed(range(10))))
         with pytest.raises(ValueError):
             serving.run_open_loop(queries, [0.0] * 10, queue_depth=-1)
+        with pytest.raises(ValueError):
+            serving.run_open_loop(queries, [0.0] * 10, serve_batch=0)
+
+
+class TestServeBatch:
+    def test_serve_batch_one_is_the_classic_path(self):
+        a, queries_a = _fresh(30)
+        b, queries_b = _fresh(30)
+        arrivals = generate_arrival_times(30, process="poisson", offered_qps=400.0, seed=2)
+        classic = a.run_open_loop(queries_a, arrivals, queue_depth=16)
+        explicit = b.run_open_loop(queries_b, arrivals, queue_depth=16, serve_batch=1)
+        assert explicit.latencies == classic.latencies
+        assert explicit.makespan_seconds == classic.makespan_seconds
+        assert explicit.dropped_queries == classic.dropped_queries
+
+    def test_freed_stream_drains_a_whole_batch(self):
+        serving, queries = _fresh(9, concurrency=1)
+        # All arrive at t=0 on one stream: the first query is served alone,
+        # then each completion drains up to serve_batch=4 waiting queries
+        # dispatched at the same simulated instant.
+        result = serving.run_open_loop(queries, [0.0] * 9, serve_batch=4)
+        assert result.num_queries == 9
+        starts = sorted({record.start_time for record in result.records})
+        batch_sizes = [
+            sum(1 for record in result.records if record.start_time == start)
+            for start in starts
+        ]
+        assert batch_sizes == [1, 4, 4]
+
+    def test_batched_dispatch_blocks_stream_until_last_completion(self):
+        serving, queries = _fresh(5, concurrency=1)
+        result = serving.run_open_loop(queries, [0.0] * 5, serve_batch=4)
+        batch_records = [r for r in result.records if r.start_time > 0.0]
+        # The follow-up batch starts exactly when the first query completes.
+        first = [r for r in result.records if r.start_time == 0.0]
+        assert {r.start_time for r in batch_records} == {first[0].completion_time}
 
 
 class TestStoreResults:

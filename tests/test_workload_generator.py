@@ -124,6 +124,36 @@ class TestQueryGenerator:
         with pytest.raises(ValueError):
             QueryGenerator(model).generate(0)
 
+    def test_generate_equals_repeated_generate_query(self):
+        # The batched per-purpose RNG draws must reproduce the one-query-at-a-
+        # time stream exactly, whatever the chunking.
+        model = small_model()
+        whole = QueryGenerator(model, WorkloadConfig(item_batch=3), seed=7).generate(30)
+        stepper = QueryGenerator(model, WorkloadConfig(item_batch=3), seed=7)
+        single = [stepper.generate_query() for _ in range(30)]
+        chunker = QueryGenerator(model, WorkloadConfig(item_batch=3), seed=7)
+        chunked = chunker.generate(11) + chunker.generate(19)
+        for reference, a, b in zip(whole, single, chunked):
+            for other in (a, b):
+                assert other.user_id == reference.user_id
+                assert other.user_indices == reference.user_indices
+                assert other.item_indices == reference.item_indices
+                assert np.array_equal(other.dense_features, reference.dense_features)
+
+    def test_golden_trace_pins_rng_stream(self):
+        # Frozen sample of the named per-purpose RNG streams: any change to
+        # stream naming, draw order or draw shapes shows up here first.
+        model = small_model()
+        queries = QueryGenerator(model, WorkloadConfig(item_batch=2), seed=42).generate(3)
+        assert [query.user_id for query in queries] == [4701, 3789, 9086]
+        assert queries[0].user_indices["user_0"] == [37, 143, 172, 254, 194]
+        assert queries[1].user_indices["user_0"] == [37, 106, 139, 97, 87, 86]
+        assert queries[2].user_indices["user_1"] == [42, 140, 206, 94]
+        assert queries[0].item_indices["item_0"] == [[14, 68], [152, 200, 227]]
+        assert queries[0].dense_features == pytest.approx(
+            [0.852983, -0.196222, -0.510966, -0.897254], abs=1e-6
+        )
+
 
 class TestGenerateArrivalTimes:
     def test_constant_spacing(self):
@@ -133,7 +163,8 @@ class TestGenerateArrivalTimes:
     def test_poisson_mean_rate_and_determinism(self):
         times = generate_arrival_times(2000, process="poisson", offered_qps=100.0, seed=1)
         again = generate_arrival_times(2000, process="poisson", offered_qps=100.0, seed=1)
-        assert times == again
+        assert isinstance(times, np.ndarray)
+        assert np.array_equal(times, again)
         assert times[0] == pytest.approx(0.0)
         assert all(b >= a for a, b in zip(times, times[1:]))
         measured_rate = (len(times) - 1) / (times[-1] - times[0])
@@ -142,7 +173,7 @@ class TestGenerateArrivalTimes:
     def test_poisson_different_seeds_differ(self):
         a = generate_arrival_times(50, process="poisson", offered_qps=10.0, seed=0)
         b = generate_arrival_times(50, process="poisson", offered_qps=10.0, seed=1)
-        assert a != b
+        assert not np.array_equal(a, b)
 
     def test_trace_replay_and_start_offset(self):
         trace = [0.0, 0.5, 1.5, 9.0]
