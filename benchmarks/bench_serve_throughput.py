@@ -17,6 +17,12 @@ Run standalone to write the comparison as JSON::
 
 which is what the ``perf-smoke`` CI job uploads (and gates with
 ``--min-speedup``).
+
+``--trace-overhead`` switches to the tracing-overhead comparison instead:
+the batched serve core timed with a live :class:`ChromeTraceRecorder`
+attached (engine + SDM backend) versus untraced.  The ``obs-smoke`` CI job
+gates the relative slowdown with ``--max-trace-overhead`` and the simulated
+outcome must be identical either way — tracing observes, never perturbs.
 """
 
 import argparse
@@ -36,6 +42,7 @@ from repro.dlrm import (  # noqa: E402
     MLP,
 )
 from repro.dlrm.inference import ComputeSpec, InferenceEngine  # noqa: E402
+from repro.obs.trace import NULL_RECORDER, ChromeTraceRecorder  # noqa: E402
 from repro.serving.engine import ServingEngine  # noqa: E402
 from repro.sim.units import MIB  # noqa: E402
 from repro.workload import (  # noqa: E402
@@ -152,6 +159,111 @@ def run_comparison(repeats: int = 3) -> dict:
     }
 
 
+def run_tracing_overhead(repeats: int = 3) -> dict:
+    """Time the batched serve core traced vs untraced over the same stream.
+
+    Tracing attaches a live :class:`ChromeTraceRecorder` to both the serving
+    engine and the SDM backend (the production wiring of
+    ``telemetry.trace=True``), so the measured slowdown covers span emission
+    at every layer: queue/serve, chain walk, storage IO, fetch/dequantise.
+    """
+    model = _bench_model()
+    generator = QueryGenerator(
+        model, WorkloadConfig(item_batch=1, num_users=300), seed=0
+    )
+    queries = generator.generate(NUM_QUERIES)
+    arrivals = generate_arrival_times(
+        NUM_QUERIES, process="poisson", offered_qps=OFFERED_QPS, seed=1
+    )
+    records = {}
+    trace_events = 0
+    for mode in ("untraced", "traced"):
+        # A fresh SDM (and warm pass) per mode: the row cache warms a little
+        # more on every replay, so sharing one backend would compare passes
+        # at different cache ages and the simulated outcomes would diverge.
+        sdm = SoftwareDefinedMemory(
+            model,
+            SDMConfig(
+                row_cache_capacity_bytes=ROW_CACHE_BYTES,
+                pooled_cache_enabled=False,
+                num_devices=2,
+                seed=0,
+                serve_mode="batched",
+            ),
+        )
+        serving = ServingEngine(
+            InferenceEngine(model, ComputeSpec(), sdm),
+            concurrency=4,
+            store_results=False,
+        )
+        serving.run_open_loop(queries, arrivals, serve_batch=8)
+        best_qps = 0.0
+        result = None
+        for _ in range(repeats):
+            if mode == "traced":
+                # Fresh recorder per pass: each timed pass pays the full
+                # span-emission cost, none amortises a warm event list.
+                recorder = ChromeTraceRecorder()
+            else:
+                recorder = NULL_RECORDER
+            serving.recorder = recorder
+            sdm.set_trace_recorder(recorder)
+            started = time.perf_counter()
+            result = serving.run_open_loop(queries, arrivals, serve_batch=8)
+            elapsed = time.perf_counter() - started
+            best_qps = max(best_qps, result.num_queries / elapsed)
+            if mode == "traced":
+                trace_events = len(recorder)
+        assert result is not None
+        records[mode] = {
+            "tracing": mode,
+            "wall_qps": best_qps,
+            "served_queries": result.num_queries,
+            "simulated_qps": result.achieved_qps,
+        }
+    untraced, traced = records["untraced"], records["traced"]
+    # Tracing must observe without perturbing: identical simulated outcome.
+    if untraced["simulated_qps"] != traced["simulated_qps"] or (
+        untraced["served_queries"] != traced["served_queries"]
+    ):
+        raise AssertionError(
+            "tracing changed the simulated outcome: "
+            f"{untraced} vs {traced}"
+        )
+    return {
+        "benchmark": "bench_serve_throughput --trace-overhead",
+        "num_queries": NUM_QUERIES,
+        "untraced_qps": untraced["wall_qps"],
+        "traced_qps": traced["wall_qps"],
+        "trace_events": trace_events,
+        "overhead": 1.0 - traced["wall_qps"] / untraced["wall_qps"],
+        "records": list(records.values()),
+    }
+
+
+def _overhead_table(payload: dict) -> str:
+    rows = [
+        [
+            record["tracing"],
+            round(record["wall_qps"], 1),
+            record["served_queries"],
+            round(record["simulated_qps"], 1),
+        ]
+        for record in payload["records"]
+    ]
+    rows.append(
+        ["overhead", f"{payload['overhead'] * 100:.1f}%", "", ""]
+    )
+    return format_table(
+        ["tracing", "wall-clock QPS", "served", "simulated QPS"],
+        rows,
+        title=(
+            f"tracing overhead: batched serve, "
+            f"{payload['trace_events']} events per pass"
+        ),
+    )
+
+
 def _table(payload: dict) -> str:
     rows = [
         [
@@ -178,6 +290,16 @@ def bench_serve_throughput(benchmark):
     emit("serve-core throughput (repro.core serve_mode)", _table(payload))
 
 
+def bench_tracing_overhead(benchmark):
+    from _util import emit, run_once
+
+    payload = run_once(benchmark, run_tracing_overhead, repeats=1)
+    # run_tracing_overhead already asserts identical simulated outcomes;
+    # the wall-clock gate itself lives in the obs-smoke CI job.
+    assert payload["trace_events"] > 0
+    emit("tracing overhead (repro.obs on the batched serve core)", _overhead_table(payload))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", metavar="FILE", help="write the comparison as JSON")
@@ -189,18 +311,45 @@ def main() -> int:
         type=float,
         help="exit non-zero when batched/scalar speedup falls below this",
     )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="compare traced vs untraced batched serving instead of scalar vs batched",
+    )
+    parser.add_argument(
+        "--max-trace-overhead",
+        type=float,
+        help=(
+            "exit non-zero when the tracing slowdown (1 - traced/untraced QPS) "
+            "exceeds this fraction (implies --trace-overhead)"
+        ),
+    )
     args = parser.parse_args()
-    payload = run_comparison(repeats=args.repeats)
-    print(_table(payload))
+    if args.trace_overhead or args.max_trace_overhead is not None:
+        payload = run_tracing_overhead(repeats=args.repeats)
+        print(_overhead_table(payload))
+    else:
+        payload = run_comparison(repeats=args.repeats)
+        print(_table(payload))
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2))
         print(f"wrote {out}", file=sys.stderr)
-    if args.min_speedup is not None and payload["speedup"] < args.min_speedup:
+    if args.min_speedup is not None and payload.get("speedup", 0.0) < args.min_speedup:
         print(
             f"speedup {payload['speedup']:.2f}x below the "
             f"--min-speedup gate {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_trace_overhead is not None
+        and payload["overhead"] > args.max_trace_overhead
+    ):
+        print(
+            f"tracing overhead {payload['overhead'] * 100:.1f}% above the "
+            f"--max-trace-overhead gate {args.max_trace_overhead * 100:.1f}%",
             file=sys.stderr,
         )
         return 1

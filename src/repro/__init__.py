@@ -24,6 +24,8 @@ through Software Defined Memory" (ICDCS 2022).  The package is organised as:
 * :mod:`repro.serving` -- platforms (Table 7), power/capacity planning
   (Eq. 5-7), scale-out, multi-tenancy, host-level serving simulation.
 * :mod:`repro.analysis` -- metrics and report formatting.
+* :mod:`repro.obs` -- observability: sim-time span tracing (Chrome trace
+  export), interval time-series metrics and run reports.
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from repro.api import (
     ServingChoice,
     Session,
     SweepPoint,
+    TelemetrySpec,
     TrafficSpec,
     UnknownBackendError,
     WorkloadChoice,
@@ -101,6 +104,7 @@ __all__ = [
     "WorkloadChoice",
     "TrafficSpec",
     "ServingChoice",
+    "TelemetrySpec",
     "Session",
     "ScenarioResult",
     "PowerSummary",

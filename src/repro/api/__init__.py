@@ -13,6 +13,7 @@ from repro.api.spec import (
     ModelChoice,
     ScenarioSpec,
     ServingChoice,
+    TelemetrySpec,
     TrafficSpec,
     WorkloadChoice,
     iter_spec_paths,
@@ -50,6 +51,7 @@ __all__ = [
     "WorkloadChoice",
     "TrafficSpec",
     "ServingChoice",
+    "TelemetrySpec",
     "model_spec_by_name",
     "iter_spec_paths",
     "spec_path_error",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
@@ -121,6 +122,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         help="open-loop queries a freed stream drains per dispatch (implies --arrival poisson)",
     )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        help="simulated seconds between timeline metric windows (0 disables)",
+    )
     parser.add_argument("--platform", help="host platform for power accounting, e.g. HW-SS")
     parser.add_argument("--baseline-platform", help="baseline platform to compare power against")
     parser.add_argument("--qps-per-host", type=float, help="analytic per-host QPS for fleet sizing")
@@ -147,6 +153,7 @@ _SCENARIO_PATHS = {
     "qps_per_host": "serving.qps_per_host",
     "baseline_qps_per_host": "serving.baseline_qps_per_host",
     "fleet_qps": "serving.fleet_qps",
+    "sample_interval": "telemetry.sample_interval",
 }
 
 
@@ -197,15 +204,81 @@ def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
             spec = spec.replace("backend.name", "tiered")
     for key, value in _parse_options(args.option).items():
         spec = spec.replace(f"backend.options.{key}", value)
+    # Telemetry output flags (run subcommand only) imply the matching knobs.
+    if getattr(args, "trace_out", None):
+        spec = spec.replace("telemetry.trace", True)
+    if getattr(args, "wall_profiling", False):
+        spec = spec.replace("telemetry.wall_profiling", True)
+    if getattr(args, "timeline_out", None) and spec.telemetry.sample_interval <= 0:
+        raise ValueError(
+            "--timeline-out needs a sampling cadence: pass --sample-interval "
+            "(simulated seconds) or set telemetry.sample_interval in --spec"
+        )
     return spec
+
+
+def _write_json(path: str, payload: Any, label: str) -> None:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"{label}: {out}", file=sys.stderr)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     result = Session(_spec_from_args(args)).run()
+    if args.trace_out:
+        _write_json(args.trace_out, result.trace, "trace")
+    if args.timeline_out:
+        _write_json(args.timeline_out, result.timeline, "timeline")
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.summary_table())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Imported here: keeps the plain-CLI import path free of repro.obs.
+    from repro.obs.report import render_report, report_dict
+
+    target = Path(args.target)
+    if target.is_dir():
+        store = ExperimentStore(target)
+        if not store.exists():
+            raise ValueError(
+                f"no campaign results at {args.target!r} (expected results.jsonl)"
+            )
+        records = sorted(store, key=lambda record: record.get("index", 0))
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "scenario": record.get("scenario"),
+                            "coords": record.get("coords"),
+                            "report": report_dict(record["result"]),
+                        }
+                        for record in records
+                    ],
+                    indent=2,
+                )
+            )
+            return 0
+        for record in records:
+            print(render_report(record["result"]))
+            print()
+        return 0
+    with open(target, encoding="utf-8") as handle:
+        result_dict = json.load(handle)
+    if not isinstance(result_dict, dict) or "scenario" not in result_dict:
+        raise ValueError(
+            f"{args.target!r} is not a stored result: expected the JSON of "
+            f"'run --json' or a campaign --out directory"
+        )
+    if args.json:
+        print(json.dumps(report_dict(result_dict), indent=2))
+    else:
+        print(render_report(result_dict))
     return 0
 
 
@@ -278,6 +351,52 @@ def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
+class _CampaignProgress:
+    """Per-point campaign progress with elapsed time and an ETA, on stderr.
+
+    Wall-clock readings come from :func:`repro.obs.profile.wall_seconds` (the
+    audited module) and shape *display only* — never results.  Lines are
+    throttled to one per ``min_interval`` seconds, except the first and last
+    point, which always print.
+    """
+
+    def __init__(self, min_interval: float = 0.5) -> None:
+        # Imported here: keeps the plain-CLI import path free of repro.obs.
+        from repro.obs.profile import wall_seconds
+
+        self._wall = wall_seconds
+        self._min_interval = min_interval
+        self._started = wall_seconds()
+        self._last_print: Optional[float] = None
+        self._ran = 0
+        self._cached = 0
+
+    def __call__(self, outcome: Any, done: int, total: int) -> None:
+        if outcome.cached:
+            self._cached += 1
+        else:
+            self._ran += 1
+        now = self._wall()
+        if (
+            done < total
+            and self._last_print is not None
+            and now - self._last_print < self._min_interval
+        ):
+            return
+        self._last_print = now
+        elapsed = now - self._started
+        origin = "store" if outcome.cached else "ran"
+        line = (
+            f"[{done}/{total}] {outcome.scenario} ({origin}) | "
+            f"{self._ran} ran, {self._cached} from store | "
+            f"{elapsed:.1f}s elapsed"
+        )
+        if done < total and self._ran:
+            eta = elapsed / self._ran * (total - done)
+            line += f" | eta {eta:.1f}s"
+        print(line, file=sys.stderr)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = _campaign_from_args(args)
     metrics = args.metric or ["achieved_qps"]
@@ -301,15 +420,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
         store.write_campaign(campaign.to_dict())
 
-    def report(outcome, done, total):
-        origin = "store" if outcome.cached else "ran"
-        print(f"[{done}/{total}] {outcome.scenario} ({origin})", file=sys.stderr)
-
     outcomes = run_campaign(
         campaign,
         parallel=args.parallel,
         store=store,
-        progress=report if not args.quiet else None,
+        progress=_CampaignProgress() if not args.quiet else None,
         chunksize=args.chunksize,
     )
     if args.json:
@@ -437,7 +552,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="serve one scenario end to end")
     _add_scenario_arguments(run_parser)
+    run_parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome-trace-event JSON of the run (implies tracing on)",
+    )
+    run_parser.add_argument(
+        "--timeline-out",
+        metavar="FILE",
+        help="write the timeline windows as JSON (needs --sample-interval)",
+    )
+    run_parser.add_argument(
+        "--wall-profiling",
+        action="store_true",
+        help="record wall-clock serve-core spans on a separate trace track",
+    )
     run_parser.set_defaults(handler=_cmd_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a stored result or campaign directory as a report"
+    )
+    report_parser.add_argument(
+        "target", help="result JSON file (run --json output) or campaign --out directory"
+    )
+    report_parser.add_argument("--json", action="store_true", help="emit JSON")
+    report_parser.set_defaults(handler=_cmd_report)
 
     sweep_parser = subparsers.add_parser("sweep", help="run a one-dimensional parameter study")
     _add_scenario_arguments(sweep_parser)

@@ -66,6 +66,8 @@ class ScenarioResult:
     dropped_queries: int = 0
     queueing: Optional[Dict[str, float]] = None  # queue-delay mean/p50/p95/p99
     tiers: Optional[List[Dict[str, Any]]] = None  # per-tier hit rates / bytes served
+    timeline: Optional[Dict[str, Any]] = None  # repro.obs Timeline.to_dict() windows
+    trace: Optional[Dict[str, Any]] = None  # Chrome trace events; not serialised
 
     def percentile_ms(self, key: str) -> float:
         return self.latency[key] * 1e3
@@ -100,6 +102,7 @@ class ScenarioResult:
             dropped_queries=data.get("dropped_queries", 0),
             queueing=dict(queueing) if queueing is not None else None,
             tiers=[dict(tier) for tier in data["tiers"]] if data.get("tiers") else None,
+            timeline=dict(data["timeline"]) if data.get("timeline") else None,
         )
 
     # ------------------------------------------------------------- reporting
@@ -125,6 +128,7 @@ class ScenarioResult:
             "tiers": (
                 [dict(tier) for tier in self.tiers] if self.tiers is not None else None
             ),
+            "timeline": dict(self.timeline) if self.timeline is not None else None,
         }
 
     def summary_rows(self) -> List[List[Any]]:
@@ -145,19 +149,38 @@ class ScenarioResult:
             if self.serve_batch != 1:
                 rows.append(["serve batch", self.serve_batch])
             rows.append(["dropped queries", self.dropped_queries])
+            if self.dropped_queries:
+                offered = self.num_queries + self.dropped_queries
+                rows.append(["drop rate", round(self.dropped_queries / offered, 3)])
             if self.queueing is not None:
                 rows.append(["p99 queue delay (ms)", round(self.queueing["p99"] * 1e3, 3)])
         for key, value in self.backend_stats.items():
             rows.append([key, round(value, 3) if isinstance(value, float) else value])
         if self.tiers:
+            total_rows_served = sum(tier["rows_served"] for tier in self.tiers)
             for tier in self.tiers:
                 label = f"tier{tier['tier']} ({tier['technology']})"
                 rows.append([f"{label} rows served", tier["rows_served"]])
                 rows.append([f"{label} bytes served", tier["bytes_served"]])
+                if total_rows_served:
+                    rows.append(
+                        [
+                            f"{label} serve share",
+                            round(tier["rows_served"] / total_rows_served, 3),
+                        ]
+                    )
                 if tier.get("cache_hit_rate") is not None:
                     rows.append(
                         [f"{label} cache hit rate", round(tier["cache_hit_rate"], 3)]
                     )
+        if self.timeline is not None:
+            rows.append(
+                [
+                    "timeline windows",
+                    f"{self.timeline.get('num_windows', 0)} x "
+                    f"{self.timeline.get('interval_seconds', 0):g}s",
+                ]
+            )
         if self.power is not None:
             rows.append([f"hosts ({self.power.platform})", self.power.num_hosts])
             rows.append(["fleet power", round(self.power.fleet_power, 1)])
@@ -214,6 +237,7 @@ def result_dict_keys() -> Tuple[str, ...]:
         "dropped_queries",
         "queueing_seconds",
         "tiers",
+        "timeline",
     )
 
 
@@ -284,6 +308,11 @@ def metric_path_error(path: str) -> Optional[str]:
         return (
             f"metric path {path!r}: per-tier stats are a list and not "
             f"addressable by compare metrics"
+        )
+    if head == "timeline":
+        return (
+            f"metric path {path!r}: the timeline is a window series and not "
+            f"addressable by compare metrics; use 'repro report' instead"
         )
     if len(parts) > 1:
         return f"metric path {path!r} descends below the scalar key {head!r}"

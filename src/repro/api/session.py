@@ -28,6 +28,8 @@ from repro.core.sdm import SoftwareDefinedMemory
 from repro.dlrm.inference import ComputeSpec, EmbeddingBackend, InferenceEngine, Query
 from repro.dlrm.model import DLRMModel
 from repro.dlrm.model_config import build_scaled_model
+from repro.obs.metrics import MetricsSampler
+from repro.obs.trace import NULL_RECORDER, ChromeTraceRecorder, TraceRecorder
 from repro.serving.capacity_planner import DeploymentScenario, plan_deployment
 from repro.serving.engine import HostSimulationResult, OpenLoopResult, ServingEngine
 from repro.serving.platform import ALL_PLATFORMS
@@ -125,8 +127,13 @@ class Session:
         serving = self.spec.serving
         queries = self.queries()
         warmup = serving.warmup_queries
+        recorder, sampler = self._telemetry()
         engine = ServingEngine(
-            self.engine, serving.concurrency, store_results=serving.store_results
+            self.engine,
+            serving.concurrency,
+            store_results=serving.store_results,
+            recorder=recorder,
+            sampler=sampler,
         )
         if serving.reset_stats_after_warmup and warmup > 0:
             # Warm the caches outside the measured window, then measure
@@ -137,7 +144,35 @@ class Session:
             queries = queries[warmup:]
             warmup = 0
         host_result = self._serve(engine, queries, warmup)
-        return self._build_result(host_result)
+        return self._build_result(host_result, recorder=recorder, sampler=sampler)
+
+    def _telemetry(self):
+        """(recorder, sampler) per the spec's telemetry section.
+
+        With telemetry off (the default) this is the shared no-op recorder
+        and no sampler: the serving path takes the exact pre-telemetry code
+        path, which the parity tests pin bit-for-bit.
+        """
+        telemetry = self.spec.telemetry
+        recorder: TraceRecorder = NULL_RECORDER
+        if telemetry.trace or telemetry.wall_profiling:
+            recorder = ChromeTraceRecorder(
+                wall_profiling=telemetry.wall_profiling,
+                max_events=telemetry.max_trace_events,
+            )
+            if not telemetry.trace:
+                # Wall profiling only: keep the simulated-clock spans off.
+                recorder.enabled = False
+            attach = getattr(self.backend, "set_trace_recorder", None)
+            if callable(attach):
+                attach(recorder)
+        sampler = None
+        if telemetry.sample_interval > 0:
+            sampler = MetricsSampler(telemetry.sample_interval)
+            counters = getattr(self.backend, "telemetry_counters", None)
+            if callable(counters):
+                sampler.add_counters("backend", counters)
+        return recorder, sampler
 
     def _serve(
         self, engine: ServingEngine, queries: Sequence[Query], warmup: int
@@ -343,8 +378,20 @@ class Session:
             power_saving=saving,
         )
 
-    def _build_result(self, host_result: HostSimulationResult) -> ScenarioResult:
+    def _build_result(
+        self,
+        host_result: HostSimulationResult,
+        recorder: TraceRecorder = NULL_RECORDER,
+        sampler: Optional[MetricsSampler] = None,
+    ) -> ScenarioResult:
         target = self.spec.serving.latency_target()
+        timeline = None
+        if sampler is not None:
+            # The serving engine already finished the sampler at the makespan.
+            timeline = sampler.timeline.to_dict()
+        trace = None
+        if isinstance(recorder, ChromeTraceRecorder):
+            trace = recorder.to_chrome_trace()
         queueing = None
         dropped = 0
         offered_qps = None
@@ -373,4 +420,6 @@ class Session:
             dropped_queries=dropped,
             queueing=queueing,
             tiers=self._tier_summaries(),
+            timeline=timeline,
+            trace=trace,
         )

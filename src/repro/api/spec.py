@@ -183,12 +183,48 @@ class ServingChoice:
         )
 
 
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Observability knobs (:mod:`repro.obs`); everything off by default.
+
+    ``trace`` records per-query spans on the simulated clock and attaches a
+    Chrome-trace-event export to the result.  ``sample_interval`` (simulated
+    seconds, ``0`` disables) snapshots tier/cache/IO/admission counters into
+    :attr:`~repro.api.results.ScenarioResult.timeline` window deltas.
+    ``wall_profiling`` additionally records *host* wall-clock spans of the
+    serve core on a separate trace track — it never feeds back into
+    simulated time, results or spec hashes.  With every knob off (the
+    default) the serving path is bit-identical to a build without
+    telemetry, which the parity tests pin.
+    """
+
+    trace: bool = False
+    sample_interval: float = 0.0
+    wall_profiling: bool = False
+    max_trace_events: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 0:
+            raise ValueError(
+                f"sample_interval must be non-negative: {self.sample_interval}"
+            )
+        if self.max_trace_events < 1:
+            raise ValueError(
+                f"max_trace_events must be positive: {self.max_trace_events}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.wall_profiling or self.sample_interval > 0
+
+
 _SECTION_TYPES = {
     "model": ModelChoice,
     "backend": BackendChoice,
     "workload": WorkloadChoice,
     "traffic": TrafficSpec,
     "serving": ServingChoice,
+    "telemetry": TelemetrySpec,
 }
 
 #: Traffic parameters the closed loop never reads: varying one of these with
@@ -363,6 +399,7 @@ class ScenarioSpec:
     workload: WorkloadChoice = field(default_factory=WorkloadChoice)
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     serving: ServingChoice = field(default_factory=ServingChoice)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
 
     # ------------------------------------------------------------- serialise
     def to_dict(self) -> Dict[str, Any]:
@@ -376,6 +413,7 @@ class ScenarioSpec:
             "workload": dataclasses.asdict(self.workload),
             "traffic": traffic,
             "serving": dataclasses.asdict(self.serving),
+            "telemetry": dataclasses.asdict(self.telemetry),
         }
 
     @classmethod

@@ -40,6 +40,14 @@ from repro.hierarchy.placement import (
     whole_table_segments,
 )
 from repro.hierarchy.tier import DeviceTier, MemoryTier, TierSpec, build_tiers
+from repro.obs.metrics import (
+    CACHE_COUNTER_FIELDS,
+    IO_COUNTER_FIELDS,
+    TIER_COUNTER_FIELDS,
+    stats_counters,
+)
+from repro.obs.profile import wall_seconds
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.storage.device import DeviceStats, SimulatedDevice
 
 #: Host CPU time per FM-resident mapping-tensor lookup (pruned tables).
@@ -146,6 +154,9 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             fm_lookup_overhead=self.compute.per_lookup_overhead,
             fm_bandwidth=self.compute.memory_bandwidth,
         )
+        # Observability: shared no-op unless a session attaches a live
+        # recorder via set_trace_recorder().  Never consulted for timing.
+        self.recorder: TraceRecorder = NULL_RECORDER
 
     # ------------------------------------------------------------------ setup
     def _init_placement(self, placement: Optional[Union[Placement, TieredPlacement]]) -> None:
@@ -485,6 +496,39 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             )
         return summaries
 
+    def set_trace_recorder(self, recorder: TraceRecorder) -> None:
+        """Attach a span recorder to the backend and its tier chain."""
+        self.recorder = recorder
+        self.chain.recorder = recorder
+
+    def telemetry_counters(self) -> Dict[str, float]:
+        """Flat cumulative counters for interval sampling (repro.obs).
+
+        Every value is monotone over a run, so per-window deltas telescope
+        back to the aggregate statistics.
+        """
+        counters: Dict[str, float] = {
+            "sdm.queries": self.stats.queries,
+            "sdm.sm_ios": self.stats.sm_ios,
+            "sdm.sm_row_lookups": self.stats.sm_row_lookups,
+            "sdm.fm_direct_lookups": self.stats.fm_direct_lookups,
+            "sdm.pooled_cache_hits": self.stats.pooled_cache_hits,
+            "sdm.pooled_cache_lookups": self.stats.pooled_cache_lookups,
+        }
+        for index, tier in enumerate(self.tiers):
+            prefix = f"tier{index}"
+            for key, value in stats_counters(tier.stats, TIER_COUNTER_FIELDS).items():
+                counters[f"{prefix}.{key}"] = value
+            if tier.cache is not None:
+                cache = stats_counters(tier.cache.stats, CACHE_COUNTER_FIELDS)
+                for key, value in cache.items():
+                    counters[f"{prefix}.cache.{key}"] = value
+            if isinstance(tier, DeviceTier):
+                io = stats_counters(tier.io_engine.stats, IO_COUNTER_FIELDS)
+                for key, value in io.items():
+                    counters[f"{prefix}.io.{key}"] = value
+        return counters
+
     def reset_stats(self) -> None:
         self.stats = SDMStats()
         if self.pooled_cache is not None:
@@ -550,10 +594,28 @@ class SoftwareDefinedMemory(EmbeddingBackend):
     def _serve_from_sm(
         self, table_name: str, indices: List[int], start_time: float
     ) -> Tuple[np.ndarray, float]:
+        if not self.recorder.wall_profiling:
+            return self._sm_lookup(table_name, indices, start_time)
+        # Wall-clock profiling of the serve core: measures host time only,
+        # never feeds back into simulated time or results (see repro.obs).
+        started = wall_seconds()
+        result = self._sm_lookup(table_name, indices, start_time)
+        self.recorder.wall_span(
+            f"sm:{table_name}",
+            started,
+            wall_seconds() - started,
+            args={"rows": len(indices)},
+        )
+        return result
+
+    def _sm_lookup(
+        self, table_name: str, indices: List[int], start_time: float
+    ) -> Tuple[np.ndarray, float]:
         state = self._sm_tables[table_name]
         self.stats.sm_table_requests += 1
         self.stats.sm_row_lookups += len(indices)
         cursor = start_time
+        recorder = self.recorder
 
         # Algorithm 1: try the pooled embedding cache first.
         if self.pooled_cache is not None and self.pooled_cache.eligible(indices):
@@ -562,13 +624,31 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             cached = self.pooled_cache.get(table_name, indices)
             if cached is not None:
                 self.stats.pooled_cache_hits += 1
+            if recorder.enabled:
+                recorder.span(
+                    "pooled_probe",
+                    "sdm",
+                    cursor - POOLED_PROBE_SECONDS,
+                    POOLED_PROBE_SECONDS,
+                    args={"table": table_name, "hit": cached is not None},
+                )
+            if cached is not None:
                 return cached, cursor
 
         # Resolve the stored index of each requested (unpruned-space) index
         # with one batched mapping-tensor gather.
         index_array = np.asarray(indices, dtype=np.int64)
         if state.mapping is not None:
-            cursor += index_array.size * MAPPING_LOOKUP_SECONDS
+            lookup_seconds = index_array.size * MAPPING_LOOKUP_SECONDS
+            if recorder.enabled:
+                recorder.span(
+                    "mapping_lookup",
+                    "sdm",
+                    cursor,
+                    lookup_seconds,
+                    args={"table": table_name, "rows": int(index_array.size)},
+                )
+            cursor += lookup_seconds
             stored = state.mapping[index_array]
             self.stats.pruned_rows_skipped += int(np.count_nonzero(stored == PRUNED))
         else:
@@ -608,6 +688,17 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         if outcome is None:
             return None
         self.stats.sm_ios += outcome.device_reads
+        if self.recorder.enabled:
+            self.recorder.span(
+                f"fetch:{table_name}",
+                "sdm",
+                cursor,
+                outcome.completion_time - cursor,
+                args={
+                    "rows": int(positions.size),
+                    "device_reads": outcome.device_reads,
+                },
+            )
         cursor = outcome.completion_time
 
         # Dequantise the whole fetched matrix in one batched call and pool in
@@ -617,7 +708,13 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         if outcome.rows.shape[0]:
             rows[outcome.served_positions] = state.decode_batch(outcome.rows)
         pooled = rows.sum(axis=0)
-        cursor += fetched_bytes / self.compute.dequant_bytes_per_second
+        dequant_seconds = fetched_bytes / self.compute.dequant_bytes_per_second
+        if self.recorder.enabled and fetched_bytes:
+            self.recorder.span(
+                "dequantise", "sdm", cursor, dequant_seconds,
+                args={"table": table_name, "bytes": fetched_bytes},
+            )
+        cursor += dequant_seconds
 
         if self.pooled_cache is not None:
             self.pooled_cache.put(table_name, indices, pooled)
@@ -648,6 +745,17 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             size_hint=state.row_bytes,
         )
         self.stats.sm_ios += outcome.device_reads
+        if self.recorder.enabled:
+            self.recorder.span(
+                f"fetch:{table_name}",
+                "sdm",
+                cursor,
+                outcome.completion_time - cursor,
+                args={
+                    "rows": len(stored_by_position),
+                    "device_reads": outcome.device_reads,
+                },
+            )
         cursor = outcome.completion_time
 
         # Dequantise and pool in the original request order so results are
@@ -669,7 +777,13 @@ class SoftwareDefinedMemory(EmbeddingBackend):
                 for position, raw in zip(served_positions, raws):
                     rows[position] = state.decode(raw)
         pooled = rows.sum(axis=0)
-        cursor += fetched_bytes / self.compute.dequant_bytes_per_second
+        dequant_seconds = fetched_bytes / self.compute.dequant_bytes_per_second
+        if self.recorder.enabled and fetched_bytes:
+            self.recorder.span(
+                "dequantise", "sdm", cursor, dequant_seconds,
+                args={"table": table_name, "bytes": fetched_bytes},
+            )
+        cursor += dequant_seconds
 
         if self.pooled_cache is not None:
             self.pooled_cache.put(table_name, indices, pooled)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.hierarchy.placement import TieredPlacement
 from repro.hierarchy.tier import PROMOTION_POLICIES, MemoryTier
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 
 
 @dataclass
@@ -90,6 +91,9 @@ class TierChain:
         self.cache_probe_seconds = cache_probe_seconds
         self.fm_lookup_overhead = fm_lookup_overhead
         self.fm_bandwidth = fm_bandwidth
+        #: Span recorder for probe / storage-IO waits; the no-op default
+        #: keeps the serve path bit-identical to an uninstrumented build.
+        self.recorder: TraceRecorder = NULL_RECORDER
         # Which tiers carry a cache never changes after construction, so the
         # per-home-tier probe lists (walked for every row) are precomputed.
         cached = [index for index, tier in enumerate(self.tiers) if tier.cache is not None]
@@ -184,6 +188,20 @@ class TierChain:
                 continue
             misses_by_tier.setdefault(home_tier, []).append((position, int(stored)))
 
+        recorder = self.recorder
+        if recorder.enabled and cursor > start_time:
+            # The serial host walk: cache probes, hit copies, fast-tier reads.
+            recorder.span(
+                "walk",
+                "chain",
+                start_time,
+                cursor - start_time,
+                args={
+                    "probe_seconds": outcome.probe_seconds,
+                    "cache_hits": outcome.cache_hits,
+                    "fast_rows": outcome.fast_rows,
+                },
+            )
         io_done = cursor
         for tier_index, entries in misses_by_tier.items():
             tier = self.tiers[tier_index]
@@ -195,11 +213,25 @@ class TierChain:
                 outcome.reads_by_tier.get(tier_index, 0) + len(reads)
             )
             targets = self._promotion_targets(tier_index) if cache_enabled else []
+            group_done = cursor
             for (position, stored), read in zip(entries, reads):
                 outcome.rows_by_position[position] = read.data
-                io_done = max(io_done, read.completion_time)
+                group_done = max(group_done, read.completion_time)
                 for target in targets:
                     self.tiers[target].fill_cache((table_name, stored), read.data)
+            io_done = max(io_done, group_done)
+            if recorder.enabled:
+                recorder.span(
+                    f"io:{tier.spec.name}",
+                    "storage",
+                    cursor,
+                    group_done - cursor,
+                    args={
+                        "tier": tier_index,
+                        "reads": len(reads),
+                        "promoted_rows": len(targets) * len(reads),
+                    },
+                )
 
         outcome.completion_time = max(cursor, io_done)
         return outcome
@@ -343,6 +375,19 @@ class TierChain:
             fast_rows=num_fast,
             probe_seconds=probe_seconds,
         )
+        recorder = self.recorder
+        if recorder.enabled and cursor > start_time:
+            recorder.span(
+                "walk",
+                "chain",
+                start_time,
+                cursor - start_time,
+                args={
+                    "probe_seconds": probe_seconds,
+                    "cache_hits": cache_hits,
+                    "fast_rows": num_fast,
+                },
+            )
         io_done = cursor
         misses_by_tier: Dict[int, List[int]] = {}
         for row in np.nonzero(~served)[0].tolist():
@@ -357,14 +402,28 @@ class TierChain:
                 outcome.reads_by_tier.get(tier_index, 0) + len(reads)
             )
             targets = self._promotion_targets(tier_index) if cache_enabled else []
+            group_done = cursor
             for row, read in zip(miss_rows, reads):
                 rows_out[row] = np.frombuffer(read.data, dtype=np.uint8)
                 served[row] = True
-                io_done = max(io_done, read.completion_time)
+                group_done = max(group_done, read.completion_time)
                 for target in targets:
                     self.tiers[target].fill_cache(
                         (table_name, int(stored[row])), read.data
                     )
+            io_done = max(io_done, group_done)
+            if recorder.enabled:
+                recorder.span(
+                    f"io:{tier.spec.name}",
+                    "storage",
+                    cursor,
+                    group_done - cursor,
+                    args={
+                        "tier": tier_index,
+                        "reads": len(reads),
+                        "promoted_rows": len(targets) * len(reads),
+                    },
+                )
 
         if not bool(served.all()):
             outcome.rows = rows_out[served]

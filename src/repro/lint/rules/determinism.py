@@ -10,6 +10,7 @@ ways library code silently breaks that.
 from __future__ import annotations
 
 import ast
+from pathlib import PurePath
 from typing import Iterator
 
 from repro.lint.context import FileContext
@@ -35,6 +36,12 @@ WALL_CLOCK_CALLS = frozenset(
         "datetime.date.today",
     }
 )
+
+#: The audited wall-clock allow-list: modules whose *whole purpose* is host
+#: wall-clock measurement (observability profiling).  Exactly one module is
+#: allowed; everything else must route wall reads through it (its API returns
+#: values that may only shape profiling output, never simulated results).
+WALL_CLOCK_ALLOWED_SUFFIXES = ("repro/obs/profile.py",)
 
 #: Module-level numpy RNG entry points (the legacy global stream).
 _NUMPY_GLOBAL_RANDOM = frozenset(
@@ -71,11 +78,16 @@ class WallClockRule(Rule):
         "time flows from sim.clock.SimClock / sim.events.Simulator; a "
         "time.time()/monotonic()/datetime.now() read couples results to the "
         "machine that produced them and breaks bit-identical replay, parity "
-        "tests and store-served campaign resume."
+        "tests and store-served campaign resume.  The single audited "
+        "exception is repro/obs/profile.py, the wall-clock module of the "
+        "observability layer (WALL_CLOCK_ALLOWED_SUFFIXES)."
     )
     library_only = True
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        posix_path = PurePath(ctx.path).as_posix()
+        if any(posix_path.endswith(suffix) for suffix in WALL_CLOCK_ALLOWED_SUFFIXES):
+            return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue

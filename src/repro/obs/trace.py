@@ -1,0 +1,318 @@
+"""Per-query span tracing on the simulated clock.
+
+The serving stack (:class:`~repro.serving.engine.ServingEngine`,
+:class:`~repro.hierarchy.chain.TierChain`,
+:class:`~repro.core.sdm.SoftwareDefinedMemory`) emits structured spans —
+admission, queue wait, per-tier cache probes, storage-IO waits, dequantise —
+against a pluggable :class:`TraceRecorder`.  The default recorder is the
+shared :data:`NULL_RECORDER` no-op whose ``enabled`` flag is ``False``; hot
+paths guard every emission with ``if recorder.enabled:`` so tracing-off runs
+execute exactly the pre-trace instruction stream (the parity tests pin this
+down as bit-identical results).
+
+:class:`ChromeTraceRecorder` collects spans in the Chrome trace-event JSON
+format (the ``{"traceEvents": [...]}`` container of *complete* ``ph: "X"``
+events), which https://ui.perfetto.dev loads directly.  Timestamps are the
+*simulated* clock scaled to microseconds; wall-clock profiling spans (see
+:mod:`repro.obs.profile`) land in a separate process track with their own
+timebase so the two never get confused for each other.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+#: Simulated seconds → Chrome trace microseconds.
+_US = 1e6
+
+#: Track (pid) that carries simulated-time spans.
+SIM_PID = 0
+#: Track (pid) that carries wall-clock profiling spans.
+WALL_PID = 1
+
+
+class TraceRecorder:
+    """No-op base recorder: the zero-overhead default.
+
+    Every emission method is a ``pass``; the class-level ``enabled`` /
+    ``wall_profiling`` flags are ``False`` so instrumented code skips even
+    the argument construction.  Subclasses that record set ``enabled`` (and
+    optionally ``wall_profiling``) to ``True`` on the instance.
+
+    ``track`` is the thread id spans default to when the caller does not
+    pass one; the serving engine points it at the current serving stream
+    before dispatching a query so backend-emitted spans nest under the
+    stream that is executing them.
+    """
+
+    enabled: bool = False
+    wall_profiling: bool = False
+    track: int = 0
+
+    def set_track(self, tid: int) -> None:
+        """Route subsequent default-track spans to thread ``tid``."""
+
+    def pause(self) -> None:
+        """Suspend span recording (warmup queries are not traced)."""
+
+    def resume(self) -> None:
+        """Re-arm span recording after :meth:`pause`."""
+
+    def span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        *,
+        tid: Optional[int] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one complete span on the simulated clock (seconds)."""
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        time: float,
+        *,
+        tid: Optional[int] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record a zero-duration marker (e.g. a shed query)."""
+
+    def counter(self, name: str, time: float, values: Mapping[str, float]) -> None:
+        """Record a counter sample (e.g. admission-queue depth)."""
+
+    def wall_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        *,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one wall-clock profiling span (perf_counter seconds)."""
+
+
+#: The shared zero-overhead default recorder.
+NULL_RECORDER = TraceRecorder()
+
+
+class ChromeTraceRecorder(TraceRecorder):
+    """Collects spans as Chrome trace-event dicts, exportable as JSON.
+
+    Events accumulate in memory up to ``max_events``; past the cap new spans
+    are counted in ``dropped_events`` instead of stored, so a runaway trace
+    degrades instead of exhausting memory.  ``to_chrome_trace`` returns the
+    Perfetto-loadable ``{"traceEvents": [...]}`` container with process /
+    thread metadata naming the simulated-host and wall-clock tracks.
+    """
+
+    def __init__(
+        self, *, wall_profiling: bool = False, max_events: int = 1_000_000
+    ) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be positive: {max_events}")
+        self.enabled = True
+        self.wall_profiling = wall_profiling
+        self.track = 0
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._paused_enabled = True
+        self._events: List[Dict[str, Any]] = []
+        self._thread_names: Dict[int, str] = {0: "admission"}
+        self._wall_epoch: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ----------------------------------------------------------- recording
+    def set_track(self, tid: int) -> None:
+        self.track = tid
+
+    def pause(self) -> None:
+        self._paused_enabled = self.enabled
+        self.enabled = False
+
+    def resume(self) -> None:
+        # Restore rather than force True: wall-profiling-only recorders keep
+        # simulated-clock spans off (enabled=False) across warmup.
+        self.enabled = self._paused_enabled
+
+    def name_thread(self, tid: int, name: str) -> None:
+        """Label one simulated-host thread track (e.g. ``1`` → ``stream 0``)."""
+        self._thread_names[tid] = name
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self._events.append(event)
+
+    # span/instant/counter re-check ``enabled`` so pause() holds even for
+    # callers that skip the hot-path ``if recorder.enabled:`` guard.
+    def span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        *,
+        tid: Optional[int] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": start * _US,
+            "dur": duration * _US,
+            "pid": SIM_PID,
+            "tid": self.track if tid is None else tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._append(event)
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        time: float,
+        *,
+        tid: Optional[int] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "ts": time * _US,
+            "pid": SIM_PID,
+            "tid": self.track if tid is None else tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._append(event)
+
+    def counter(self, name: str, time: float, values: Mapping[str, float]) -> None:
+        if not self.enabled:
+            return
+        self._append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": time * _US,
+                "pid": SIM_PID,
+                "tid": 0,
+                "args": dict(values),
+            }
+        )
+
+    def wall_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        *,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        # Wall timestamps are perf_counter seconds with an arbitrary origin;
+        # re-anchor on the first span so the track starts near zero.
+        if self._wall_epoch is None:
+            self._wall_epoch = start
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": "wall",
+            "ph": "X",
+            "ts": (start - self._wall_epoch) * _US,
+            "dur": duration * _US,
+            "pid": WALL_PID,
+            "tid": 0,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._append(event)
+
+    # ------------------------------------------------------------- exporting
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Perfetto-loadable trace container (metadata + events)."""
+        metadata: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": 0,
+                "args": {"name": "simulated host"},
+            }
+        ]
+        for tid in sorted(self._thread_names):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": SIM_PID,
+                    "tid": tid,
+                    "args": {"name": self._thread_names[tid]},
+                }
+            )
+        if any(event["pid"] == WALL_PID for event in self._events):
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": WALL_PID,
+                    "tid": 0,
+                    "args": {"name": "wall clock (profiling)"},
+                }
+            )
+        return {
+            "traceEvents": metadata + list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated seconds x 1e6 (pid 0) / wall seconds (pid 1)",
+                "dropped_events": self.dropped_events,
+            },
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace JSON to ``path`` (parents created)."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(self.to_chrome_trace(), indent=2), encoding="utf-8")
+        return out
+
+
+def validate_chrome_trace(trace: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``trace`` is a loadable trace container.
+
+    Checks the structural contract Perfetto's legacy JSON importer relies
+    on: a ``traceEvents`` list whose entries carry ``ph``/``pid``/``tid``
+    (+ ``ts``/``name`` for non-metadata phases, ``dur`` for complete
+    events).  Shared by the golden tests and the CI ``obs-smoke`` job.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace needs a 'traceEvents' list")
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in ("ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] lacks {key!r}: {event}")
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        for key in ("name", "ts"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] lacks {key!r}: {event}")
+        if phase == "X" and "dur" not in event:
+            raise ValueError(f"traceEvents[{index}] is complete but lacks 'dur'")

@@ -37,9 +37,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.dlrm.inference import InferenceEngine, Query, QueryResult
+from repro.obs.metrics import MetricsSampler
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.serving.latency import LatencyTarget, latency_percentiles
 from repro.sim.events import Simulator
 
@@ -197,6 +199,18 @@ class ServingEngine:
         objects and :class:`QueryRecord` timings are not retained — only the
         scalar latency lists needed for percentiles — which keeps 10⁵+-query
         open-loop sweeps at a small, constant memory footprint.
+    recorder:
+        A :class:`~repro.obs.trace.TraceRecorder` receiving per-query spans
+        (queue wait, service) on the simulated clock.  The default no-op
+        recorder keeps the serve path bit-identical to an uninstrumented
+        build; every emission is guarded by ``recorder.enabled``.
+    sampler:
+        A started-by-the-engine :class:`~repro.obs.metrics.MetricsSampler`
+        snapshotting cumulative counters every N simulated seconds.  The
+        engine registers its admission counters/gauges, baselines the
+        sampler after warmup, and drives it from its event handlers — the
+        sampler never schedules simulator events, so the measured makespan
+        is untouched.
     """
 
     def __init__(
@@ -204,12 +218,16 @@ class ServingEngine:
         engine: InferenceEngine,
         concurrency: int = 1,
         store_results: bool = True,
+        recorder: Optional[TraceRecorder] = None,
+        sampler: Optional[MetricsSampler] = None,
     ) -> None:
         if concurrency <= 0:
             raise ValueError(f"concurrency must be positive: {concurrency}")
         self.engine = engine
         self.concurrency = concurrency
         self.store_results = store_results
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.sampler = sampler
 
     # ------------------------------------------------------------- closed loop
     def run_closed_loop(
@@ -225,16 +243,43 @@ class ServingEngine:
         to the pre-engine simulator.
         """
         measured = self._run_warmup(queries, warmup_queries)
+        recorder = self.recorder
+        tracing = recorder.enabled
+        sampler = self.sampler
+        flow = {"served": 0}
+        if sampler is not None:
+            sampler.add_counters("engine", lambda: dict(flow))
+            sampler.start(0.0)
         stream_clock = [0.0] * self.concurrency
         latencies: List[float] = []
         results: List[QueryResult] = []
         for position, query in enumerate(measured):
             stream = position % self.concurrency
-            result = self.engine.run_query(query, start_time=stream_clock[stream])
+            start = stream_clock[stream]
+            if sampler is not None:
+                sampler.advance(start)
+            if tracing:
+                recorder.set_track(stream + 1)
+            result = self.engine.run_query(query, start_time=start)
             stream_clock[stream] += result.latency
             latencies.append(result.latency)
+            if sampler is not None:
+                flow["served"] += 1
+            if tracing:
+                recorder.span(
+                    "serve",
+                    "engine",
+                    start,
+                    result.latency,
+                    tid=stream + 1,
+                    args={"query_id": query.query_id},
+                )
             if self.store_results:
                 results.append(result)
+        if sampler is not None:
+            sampler.finish(max(stream_clock))
+        if tracing:
+            self._name_stream_tracks(recorder)
 
         return HostSimulationResult(
             num_queries=len(measured),
@@ -296,8 +341,27 @@ class ServingEngine:
         results: List[QueryResult] = []
         dropped = [0]
 
+        recorder = self.recorder
+        tracing = recorder.enabled
+        sampler = self.sampler
+        # Streams get stable trace track ids (1..concurrency; 0 is the
+        # admission track) via a free list; only maintained when tracing so
+        # the untraced path runs the exact pre-trace instruction stream.
+        free_streams = list(range(self.concurrency, 0, -1)) if tracing else []
+        flow = {"offered": 0, "served": 0, "dropped": 0}
+        if sampler is not None:
+            sampler.add_counters("engine", lambda: dict(flow))
+            sampler.add_gauge("queue_depth", lambda: float(len(waiting)))
+            sampler.add_gauge(
+                "busy_streams", lambda: float(self.concurrency - free_servers[0])
+            )
+            sampler.start(0.0)
+
         def start_service(batch: List[Tuple[Query, float]]) -> None:
             free_servers[0] -= 1
+            tid = free_streams.pop() if tracing else 0
+            if tracing:
+                recorder.set_track(tid)
             now = sim.clock.now
             batch_done = now
             for query, arrival in batch:
@@ -307,6 +371,25 @@ class ServingEngine:
                 latencies.append(completion - arrival)
                 queue_delays.append(now - arrival)
                 service_times.append(result.latency)
+                if sampler is not None:
+                    flow["served"] += 1
+                if tracing:
+                    recorder.span(
+                        "queue",
+                        "engine",
+                        arrival,
+                        now - arrival,
+                        tid=tid,
+                        args={"query_id": query.query_id},
+                    )
+                    recorder.span(
+                        "serve",
+                        "engine",
+                        now,
+                        result.latency,
+                        tid=tid,
+                        args={"query_id": query.query_id},
+                    )
                 if self.store_results:
                     results.append(result)
                     records.append(
@@ -317,9 +400,13 @@ class ServingEngine:
                             completion_time=completion,
                         )
                     )
-            sim.schedule_at(batch_done, on_complete)
+            sim.schedule_at(batch_done, lambda: on_complete(tid))
 
-        def on_complete() -> None:
+        def on_complete(tid: int) -> None:
+            if sampler is not None:
+                sampler.advance(sim.clock.now)
+            if tracing:
+                free_streams.append(tid)
             free_servers[0] += 1
             if waiting:
                 batch = [
@@ -330,18 +417,39 @@ class ServingEngine:
 
         def on_arrival(query: Query) -> None:
             arrival = sim.clock.now
+            if sampler is not None:
+                sampler.advance(arrival)
+                flow["offered"] += 1
             if free_servers[0] > 0:
                 start_service([(query, arrival)])
             elif len(waiting) < queue_depth:
                 waiting.append((query, arrival))
+                if tracing:
+                    recorder.counter(
+                        "admission", arrival, {"queue_depth": len(waiting)}
+                    )
             else:
                 dropped[0] += 1
+                if sampler is not None:
+                    flow["dropped"] += 1
+                if tracing:
+                    recorder.instant(
+                        "drop",
+                        "engine",
+                        arrival,
+                        tid=0,
+                        args={"query_id": query.query_id},
+                    )
 
         for query, time in zip(measured, arrival_times):
             sim.schedule_at(time, lambda query=query: on_arrival(query))
         sim.run()
 
         makespan = sim.clock.now
+        if sampler is not None:
+            sampler.finish(makespan)
+        if tracing:
+            self._name_stream_tracks(recorder)
         offered_qps = 0.0
         if len(arrival_times) > 1:
             span = arrival_times[-1] - arrival_times[0]
@@ -373,9 +481,23 @@ class ServingEngine:
                 f"warmup_queries ({warmup_queries}) must leave measured queries "
                 f"({len(queries)} supplied)"
             )
-        for query in queries[:warmup_queries]:
-            self.engine.run_query(query, start_time=0.0)
+        if warmup_queries:
+            # Warmup exercises the caches but is not part of the measured
+            # run; spans from it would overlap the measured ones at time 0.
+            self.recorder.pause()
+            try:
+                for query in queries[:warmup_queries]:
+                    self.engine.run_query(query, start_time=0.0)
+            finally:
+                self.recorder.resume()
         return queries[warmup_queries:]
+
+    def _name_stream_tracks(self, recorder: TraceRecorder) -> None:
+        """Label the per-stream trace tracks on recorders that support it."""
+        name_thread = getattr(recorder, "name_thread", None)
+        if callable(name_thread):
+            for stream in range(self.concurrency):
+                name_thread(stream + 1, f"stream {stream}")
 
 
 class ServingSimulator:

@@ -50,6 +50,33 @@ class TestRuleSpecifics:
         assert lint_source(source, "examples/demo.py", is_library=False) == []
         assert lint_source(source, "src/repro/sim/x.py", is_library=True)
 
+    def test_det001_allows_the_audited_obs_profile_module(self):
+        # repro/obs/profile.py is the one allow-listed wall-clock module.
+        source = "import time\n\ndef wall_seconds():\n    return time.perf_counter()\n"
+        assert lint_source(source, "src/repro/obs/profile.py", is_library=True) == []
+
+    def test_det001_allow_list_is_exactly_one_module(self):
+        # The same wall read anywhere else in the package — including the
+        # rest of repro.obs — still fires.
+        source = "import time\nstarted = time.perf_counter()\n"
+        for path in (
+            "src/repro/obs/metrics.py",
+            "src/repro/obs/trace.py",
+            "src/repro/serving/engine.py",
+            "src/repro/core/profile.py",  # same basename, wrong package
+        ):
+            findings = lint_source(source, path, is_library=True)
+            assert [f.rule for f in findings] == ["DET001"], path
+
+    def test_det001_does_not_flag_wall_seconds_callers(self):
+        # Library code may *call* the audited module; only direct time.*
+        # reads are findings.
+        source = (
+            "from repro.obs.profile import wall_seconds\n"
+            "started = wall_seconds()\n"
+        )
+        assert lint_source(source, "src/repro/api/cli.py", is_library=True) == []
+
     def test_det002_distinguishes_seeded_default_rng(self):
         seeded = "import numpy as np\nrng = np.random.default_rng(42)\n"
         unseeded = "import numpy as np\nrng = np.random.default_rng()\n"

@@ -1,0 +1,88 @@
+"""Golden-file tests: the Chrome-trace export and the timeline JSON schema.
+
+The goldens pin the *byte-stable serialised form* of both artifacts for one
+tiny deterministic scenario, so accidental schema drift (renamed keys,
+reordered metadata, changed units) fails loudly.  To regenerate after an
+intentional schema change::
+
+    REGEN_OBS_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_obs_golden.py
+
+and review the diff like any other code change."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import ScenarioSpec, Session, TelemetrySpec
+from repro.api.spec import ServingChoice, TrafficSpec, WorkloadChoice
+from repro.obs.trace import validate_chrome_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small, fully deterministic, and exercising both tiers and the open loop.
+GOLDEN_SPEC = ScenarioSpec(
+    name="obs-golden",
+    workload=WorkloadChoice(num_queries=24),
+    serving=ServingChoice(concurrency=2, warmup_queries=4),
+    traffic=TrafficSpec(
+        mode="open", arrival="constant", offered_qps=500.0, queue_depth=4
+    ),
+    telemetry=TelemetrySpec(trace=True, sample_interval=0.01),
+)
+
+
+@pytest.fixture(scope="module")
+def golden_result():
+    return Session(GOLDEN_SPEC).run()
+
+
+def _check_against_golden(name: str, payload):
+    path = GOLDEN_DIR / name
+    encoded = json.dumps(payload, indent=2, sort_keys=True)
+    if os.environ.get("REGEN_OBS_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(encoded + "\n", encoding="utf-8")
+    assert path.exists(), (
+        f"golden file {path} missing; regenerate with REGEN_OBS_GOLDEN=1"
+    )
+    assert json.loads(path.read_text(encoding="utf-8")) == json.loads(encoded), (
+        f"{name} drifted from its golden; if intentional, regenerate with "
+        f"REGEN_OBS_GOLDEN=1 and review the diff"
+    )
+
+
+class TestChromeTraceGolden:
+    def test_trace_matches_golden(self, golden_result):
+        _check_against_golden("obs_trace.json", golden_result.trace)
+
+    def test_trace_is_loadable(self, golden_result):
+        validate_chrome_trace(golden_result.trace)
+        # And the golden on disk validates too (belt and braces: this is the
+        # file contract external tooling loads).
+        validate_chrome_trace(
+            json.loads((GOLDEN_DIR / "obs_trace.json").read_text(encoding="utf-8"))
+        )
+
+    def test_trace_covers_every_layer(self, golden_result):
+        categories = {
+            e.get("cat")
+            for e in golden_result.trace["traceEvents"]
+            if e["ph"] != "M"
+        }
+        # engine (serve/queue), chain (walk), storage (io:*), sdm (fetch/...)
+        assert {"engine", "chain", "storage", "sdm"} <= categories
+
+
+class TestTimelineGolden:
+    def test_timeline_matches_golden(self, golden_result):
+        _check_against_golden("obs_timeline.json", golden_result.timeline)
+
+    def test_timeline_schema(self, golden_result):
+        timeline = golden_result.timeline
+        assert set(timeline) == {"interval_seconds", "num_windows", "windows"}
+        assert timeline["num_windows"] == len(timeline["windows"])
+        for window in timeline["windows"]:
+            assert set(window) == {"index", "start", "end", "counters", "gauges"}
+            assert window["end"] > window["start"]
