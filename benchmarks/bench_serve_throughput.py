@@ -18,6 +18,14 @@ Run standalone to write the comparison as JSON::
 which is what the ``perf-smoke`` CI job uploads (and gates with
 ``--min-speedup``).
 
+``--cold`` switches to a miss-heavy regime: the row cache is shrunk far
+below the working set, so nearly every lookup falls through to the
+simulated devices and the measurement exercises the batched storage-IO
+path (``IOEngine.submit_row_reads_batch`` + grouped device scheduling)
+rather than array-native cache hits.  The queue-depth gating replay is
+inherently sequential, so the cold speedup is smaller than the warm one;
+CI gates it separately.
+
 ``--trace-overhead`` switches to the tracing-overhead comparison instead:
 the batched serve core timed with a live :class:`ChromeTraceRecorder`
 attached (engine + SDM backend) versus untraced.  The ``obs-smoke`` CI job
@@ -44,7 +52,7 @@ from repro.dlrm import (  # noqa: E402
 from repro.dlrm.inference import ComputeSpec, InferenceEngine  # noqa: E402
 from repro.obs.trace import NULL_RECORDER, ChromeTraceRecorder  # noqa: E402
 from repro.serving.engine import ServingEngine  # noqa: E402
-from repro.sim.units import MIB  # noqa: E402
+from repro.sim.units import KIB, MIB  # noqa: E402
 from repro.workload import (  # noqa: E402
     QueryGenerator,
     WorkloadConfig,
@@ -62,6 +70,10 @@ POOLING = 1536.0
 NUM_QUERIES = 200
 OFFERED_QPS = 5000.0
 ROW_CACHE_BYTES = 64 * MIB
+# --cold shrinks the row cache far below the ~1 MiB working set of the
+# user table, so the timed passes are dominated by tier-chain misses and
+# the batched storage-IO submission path instead of cache hits.
+COLD_ROW_CACHE_BYTES = 64 * KIB
 
 
 def _bench_model() -> DLRMModel:
@@ -95,8 +107,13 @@ def _bench_model() -> DLRMModel:
     )
 
 
-def run_comparison(repeats: int = 3) -> dict:
-    """Time both serve modes over one replayed open-loop stream."""
+def run_comparison(repeats: int = 3, cold: bool = False) -> dict:
+    """Time both serve modes over one replayed open-loop stream.
+
+    ``cold=True`` runs the same stream against a row cache too small for
+    the working set, so the comparison measures the miss path (batched
+    storage IO) rather than warm cache hits.
+    """
     model = _bench_model()
     generator = QueryGenerator(
         model, WorkloadConfig(item_batch=1, num_users=300), seed=0
@@ -110,7 +127,9 @@ def run_comparison(repeats: int = 3) -> dict:
         sdm = SoftwareDefinedMemory(
             model,
             SDMConfig(
-                row_cache_capacity_bytes=ROW_CACHE_BYTES,
+                row_cache_capacity_bytes=(
+                    COLD_ROW_CACHE_BYTES if cold else ROW_CACHE_BYTES
+                ),
                 pooled_cache_enabled=False,
                 num_devices=2,
                 seed=0,
@@ -150,7 +169,10 @@ def run_comparison(repeats: int = 3) -> dict:
             f"{scalar} vs {batched}"
         )
     return {
-        "benchmark": "bench_serve_throughput",
+        "benchmark": (
+            "bench_serve_throughput --cold" if cold else "bench_serve_throughput"
+        ),
+        "regime": "cold" if cold else "warm",
         "num_queries": NUM_QUERIES,
         "scalar_qps": scalar["wall_qps"],
         "batched_qps": batched["wall_qps"],
@@ -278,7 +300,10 @@ def _table(payload: dict) -> str:
     return format_table(
         ["serve mode", "wall-clock QPS", "served", "simulated QPS"],
         rows,
-        title="serve-core throughput: scalar vs batched",
+        title=(
+            "serve-core throughput: scalar vs batched "
+            f"({payload.get('regime', 'warm')} row cache)"
+        ),
     )
 
 
@@ -288,6 +313,14 @@ def bench_serve_throughput(benchmark):
     payload = run_once(benchmark, run_comparison, repeats=1)
     assert payload["batched_qps"] > payload["scalar_qps"]
     emit("serve-core throughput (repro.core serve_mode)", _table(payload))
+
+
+def bench_serve_throughput_cold(benchmark):
+    from _util import emit, run_once
+
+    payload = run_once(benchmark, run_comparison, repeats=1, cold=True)
+    assert payload["batched_qps"] > payload["scalar_qps"]
+    emit("serve-core throughput, cold row cache (storage-IO batching)", _table(payload))
 
 
 def bench_tracing_overhead(benchmark):
@@ -312,6 +345,14 @@ def main() -> int:
         help="exit non-zero when batched/scalar speedup falls below this",
     )
     parser.add_argument(
+        "--cold",
+        action="store_true",
+        help=(
+            "run the miss-heavy comparison (tiny row cache) so the batched "
+            "storage-IO path dominates the measurement"
+        ),
+    )
+    parser.add_argument(
         "--trace-overhead",
         action="store_true",
         help="compare traced vs untraced batched serving instead of scalar vs batched",
@@ -329,7 +370,7 @@ def main() -> int:
         payload = run_tracing_overhead(repeats=args.repeats)
         print(_overhead_table(payload))
     else:
-        payload = run_comparison(repeats=args.repeats)
+        payload = run_comparison(repeats=args.repeats, cold=args.cold)
         print(_table(payload))
     if args.out:
         out = Path(args.out)

@@ -30,6 +30,7 @@ from repro.core.pooled_cache import (
     PooledEmbeddingCache,
     PooledCacheStats,
     order_invariant_hash,
+    order_invariant_hash_batch,
     profile_subsequence_schemes,
 )
 from repro.core.depruning import DepruneResult, deprune_table
@@ -56,6 +57,7 @@ __all__ = [
     "PooledEmbeddingCache",
     "PooledCacheStats",
     "order_invariant_hash",
+    "order_invariant_hash_batch",
     "profile_subsequence_schemes",
     "DepruneResult",
     "deprune_table",

@@ -52,6 +52,35 @@ def order_invariant_hash(indices: Sequence[int]) -> int:
     return (total ^ _splitmix64(len(indices))) & _MASK64
 
 
+_SPLITMIX_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_MUL2 = np.uint64(0x94D049BB133111EB)
+
+
+def order_invariant_hash_batch(indices: np.ndarray) -> int:
+    """Vectorised :func:`order_invariant_hash`; produces the identical value.
+
+    splitmix64 on a uint64 ndarray: numpy's unsigned arithmetic wraps modulo
+    2^64 exactly like the masked scalar chain, and the commutative sum means
+    one ``sum(dtype=uint64)`` matches the scalar left-to-right accumulation.
+    Keys computed here interoperate with scalar-hashed entries in the same
+    cache.
+    """
+    array = np.asarray(indices, dtype=np.int64)
+    if array.size == 0:
+        raise ValueError("cannot hash an empty index sequence")
+    negative = array < 0
+    if bool(negative.any()):
+        raise ValueError(f"indices must be non-negative: {int(array[negative][0])}")
+    with np.errstate(over="ignore"):
+        mixed = array.astype(np.uint64) + _SPLITMIX_GOLDEN
+        mixed = (mixed ^ (mixed >> np.uint64(30))) * _SPLITMIX_MUL1
+        mixed = (mixed ^ (mixed >> np.uint64(27))) * _SPLITMIX_MUL2
+        mixed ^= mixed >> np.uint64(31)
+        total = int(mixed.sum(dtype=np.uint64))
+    return (total ^ _splitmix64(int(array.size))) & _MASK64
+
+
 @dataclass
 class PooledCacheStats:
     """Hit/miss counters plus the average hit sequence length (Table 4)."""
@@ -127,6 +156,38 @@ class PooledEmbeddingCache:
             return False
         vector = np.asarray(pooled, dtype=np.float32)
         inserted = self._cache.put(self._key(table_name, indices), vector.tobytes())
+        if inserted:
+            self.stats.inserts += 1
+        return inserted
+
+    def probe_batch(self, table_name: str, indices: np.ndarray) -> Optional[np.ndarray]:
+        """:meth:`get` with the key hash vectorised.
+
+        Stats, LRU effects and the cache key are bit-identical to the scalar
+        probe, so batched and scalar serve modes interoperate on one cache.
+        """
+        array = np.asarray(indices, dtype=np.int64)
+        if not int(array.size) > self.len_threshold:
+            self.stats.skipped_short += 1
+            return None
+        self.stats.lookups += 1
+        raw = self._cache.get((table_name, order_invariant_hash_batch(array)))
+        if raw is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.hit_index_count += int(array.size)
+        return np.frombuffer(raw, dtype=np.float32).copy()
+
+    def put_batch(self, table_name: str, indices: np.ndarray, pooled: np.ndarray) -> bool:
+        """:meth:`put` with the key hash vectorised; effects identical."""
+        array = np.asarray(indices, dtype=np.int64)
+        if not int(array.size) > self.len_threshold:
+            return False
+        vector = np.asarray(pooled, dtype=np.float32)
+        inserted = self._cache.put(
+            (table_name, order_invariant_hash_batch(array)), vector.tobytes()
+        )
         if inserted:
             self.stats.inserts += 1
         return inserted

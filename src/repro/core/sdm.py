@@ -530,10 +530,16 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         return counters
 
     def reset_stats(self) -> None:
+        """Zero every counter; queue state (outstanding IOs, busy channels)
+        survives — use :meth:`reset_queues` to drop behavioural state."""
         self.stats = SDMStats()
         if self.pooled_cache is not None:
             self.pooled_cache.reset_stats()
         self.chain.reset_stats()
+
+    def reset_queues(self) -> None:
+        """Clear behavioural queue state on every tier; counters untouched."""
+        self.chain.reset_queues()
 
     def clear_caches(self) -> None:
         """Drop cached rows and pooled vectors (cold start / full update)."""
@@ -616,12 +622,18 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         self.stats.sm_row_lookups += len(indices)
         cursor = start_time
         recorder = self.recorder
+        index_array = np.asarray(indices, dtype=np.int64)
 
-        # Algorithm 1: try the pooled embedding cache first.
+        # Algorithm 1: try the pooled embedding cache first.  The batched
+        # serve mode hashes the key with the vectorised splitmix64; key,
+        # stats and LRU effects are bit-identical to the scalar probe.
         if self.pooled_cache is not None and self.pooled_cache.eligible(indices):
             cursor += POOLED_PROBE_SECONDS
             self.stats.pooled_cache_lookups += 1
-            cached = self.pooled_cache.get(table_name, indices)
+            if self.config.serve_mode == "batched":
+                cached = self.pooled_cache.probe_batch(table_name, index_array)
+            else:
+                cached = self.pooled_cache.get(table_name, indices)
             if cached is not None:
                 self.stats.pooled_cache_hits += 1
             if recorder.enabled:
@@ -637,7 +649,6 @@ class SoftwareDefinedMemory(EmbeddingBackend):
 
         # Resolve the stored index of each requested (unpruned-space) index
         # with one batched mapping-tensor gather.
-        index_array = np.asarray(indices, dtype=np.int64)
         if state.mapping is not None:
             lookup_seconds = index_array.size * MAPPING_LOOKUP_SECONDS
             if recorder.enabled:
@@ -655,7 +666,9 @@ class SoftwareDefinedMemory(EmbeddingBackend):
             stored = index_array
 
         if self.config.serve_mode == "batched":
-            served = self._serve_batched(table_name, state, indices, stored, cursor)
+            served = self._serve_batched(
+                table_name, state, indices, index_array, stored, cursor
+            )
             if served is not None:
                 return served
         return self._serve_scalar(table_name, state, indices, stored, cursor)
@@ -665,6 +678,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         table_name: str,
         state: _SMTable,
         indices: List[int],
+        index_array: np.ndarray,
         stored: np.ndarray,
         cursor: float,
     ) -> Optional[Tuple[np.ndarray, float]]:
@@ -717,7 +731,7 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         cursor += dequant_seconds
 
         if self.pooled_cache is not None:
-            self.pooled_cache.put(table_name, indices, pooled)
+            self.pooled_cache.put_batch(table_name, index_array, pooled)
         return pooled, cursor
 
     def _serve_scalar(

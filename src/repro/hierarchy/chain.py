@@ -394,23 +394,43 @@ class TierChain:
             misses_by_tier.setdefault(int(home_tiers[row]), []).append(row)
         for tier_index, miss_rows in misses_by_tier.items():
             tier = self.tiers[tier_index]
-            reads = tier.read_rows(
-                table_name, [int(stored[row]) for row in miss_rows], cursor
-            )
-            outcome.device_reads += len(reads)
-            outcome.reads_by_tier[tier_index] = (
-                outcome.reads_by_tier.get(tier_index, 0) + len(reads)
-            )
             targets = self._promotion_targets(tier_index) if cache_enabled else []
             group_done = cursor
-            for row, read in zip(miss_rows, reads):
-                rows_out[row] = np.frombuffer(read.data, dtype=np.uint8)
-                served[row] = True
-                group_done = max(group_done, read.completion_time)
+            num_reads = len(miss_rows)
+            rows_at = np.asarray(miss_rows, dtype=np.int64)
+            miss_stored = stored[rows_at]
+            batch = tier.read_rows_batch(table_name, miss_stored, cursor)
+            if batch is not None:
+                # Array-native miss path: one grouped batch submission per
+                # tier, a matrix scatter instead of per-row frombuffer, and
+                # target-major promotion fills (each cache still sees its
+                # fills in row order, so LRU state matches the scalar walk).
+                matrix, completions = batch
+                rows_out[rows_at] = matrix
+                served[rows_at] = True
+                if num_reads:
+                    group_done = max(group_done, float(completions.max()))
                 for target in targets:
-                    self.tiers[target].fill_cache(
-                        (table_name, int(stored[row])), read.data
+                    self.tiers[target].fill_cache_batch(
+                        table_name, miss_stored, matrix
                     )
+            else:
+                reads = tier.read_rows(
+                    table_name, [int(index) for index in miss_stored], cursor
+                )
+                num_reads = len(reads)
+                for row, read in zip(miss_rows, reads):
+                    rows_out[row] = np.frombuffer(read.data, dtype=np.uint8)
+                    served[row] = True
+                    group_done = max(group_done, read.completion_time)
+                    for target in targets:
+                        self.tiers[target].fill_cache(
+                            (table_name, int(stored[row])), read.data
+                        )
+            outcome.device_reads += num_reads
+            outcome.reads_by_tier[tier_index] = (
+                outcome.reads_by_tier.get(tier_index, 0) + num_reads
+            )
             io_done = max(io_done, group_done)
             if recorder.enabled:
                 recorder.span(
@@ -420,8 +440,8 @@ class TierChain:
                     group_done - cursor,
                     args={
                         "tier": tier_index,
-                        "reads": len(reads),
-                        "promoted_rows": len(targets) * len(reads),
+                        "reads": num_reads,
+                        "promoted_rows": len(targets) * num_reads,
                     },
                 )
 
@@ -439,3 +459,8 @@ class TierChain:
     def reset_stats(self) -> None:
         for tier in self.tiers:
             tier.reset_stats()
+
+    def reset_queues(self) -> None:
+        """Clear every tier's behavioural queue state; counters untouched."""
+        for tier in self.tiers:
+            tier.reset_queues()

@@ -382,6 +382,15 @@ class MemoryTier(abc.ABC):
         matrix, or ``None`` when the tier has no array-native source."""
         return None
 
+    def read_rows_batch(
+        self, table_name: str, stored_indices: np.ndarray, start_time: float
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Array-native :meth:`read_rows`: ``(rows_matrix, completion_times)``
+        in input order, or ``None`` when this tier has no batch read path
+        (the caller falls back to the scalar reads).  Stats and device/engine
+        side effects are bit-identical to the per-row calls."""
+        return None
+
     def fill_cache(self, key: CacheKey, value: bytes) -> bool:
         """Insert a row read from a slower tier into this tier's cache."""
         if self.cache is None:
@@ -389,6 +398,25 @@ class MemoryTier(abc.ABC):
         admitted = self.cache.put(key, value)
         if admitted:
             self.stats.promoted_rows += 1
+        return admitted
+
+    def fill_cache_batch(
+        self, table_name: str, stored_indices: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Batched :meth:`fill_cache`: one insert per matrix row, in order.
+
+        Returns the number of admitted rows (counted via the cache's own
+        ``inserts`` counter so the SoA fast path and the scalar fallback
+        agree); ``promoted_rows`` accounting matches per-row fills exactly.
+        """
+        if self.cache is None:
+            return 0
+        inserts_before = self.cache.stats.inserts
+        self.cache.fill_batch(
+            table_name, np.asarray(stored_indices, dtype=np.int64), values
+        )
+        admitted = self.cache.stats.inserts - inserts_before
+        self.stats.promoted_rows += admitted
         return admitted
 
     def cache_hit_seconds(self, num_bytes: int) -> float:
@@ -410,6 +438,14 @@ class MemoryTier(abc.ABC):
         self.stats = TierStats()
         if self.cache is not None:
             self.cache.reset_stats()
+
+    def reset_queues(self) -> None:
+        """Clear behavioural queue state (outstanding IOs, busy channels).
+
+        Counters are left alone — :meth:`reset_stats` owns those.  A no-op
+        for tiers without device queues.
+        """
+        return None
 
     def fm_footprint_bytes(self) -> int:
         """Fast-memory bytes this tier consumes beyond homed data."""
@@ -628,6 +664,55 @@ class DeviceTier(MemoryTier):
         self.stats.bytes_served += sum(len(read.data) for read in completed)
         return completed
 
+    def read_rows_batch(
+        self, table_name: str, stored_indices: np.ndarray, start_time: float
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Array-native :meth:`read_rows` through the batched IO engine path.
+
+        Segment resolution is vectorised, and layout keys are visited in
+        first-occurrence order — the identical sequence of engine submissions
+        (and therefore gating, RNG and stats effects) as the scalar grouped
+        walk.  Returns ``None`` when the access path has no batch support
+        (mmap), before any state is mutated.
+        """
+        if not self.access_path.supports_batch_reads:
+            return None
+        stored = np.asarray(stored_indices, dtype=np.int64)
+        count = int(stored.size)
+        segments = self._segments.get(table_name, [])
+        segment_of = np.full(count, -1, dtype=np.int64)
+        for index, segment in enumerate(segments):
+            unclaimed = segment_of < 0
+            inside = unclaimed & (stored >= segment.start) & (stored < segment.end)
+            segment_of[inside] = index
+        if bool((segment_of < 0).any()):
+            missing = int(stored[segment_of < 0][0])
+            raise KeyError(
+                f"stored row {missing} of table {table_name!r} is not homed on "
+                f"tier {self.spec.name!r}"
+            )
+        row_len = self._row_bytes[table_name]
+        matrix = np.empty((count, row_len), dtype=np.uint8)
+        completions = np.empty(count, dtype=np.float64)
+        present = np.unique(segment_of)
+        first_positions = sorted(
+            (int(np.argmax(segment_of == index)), int(index)) for index in present
+        )
+        for _, index in first_positions:
+            segment = segments[index]
+            members = segment_of == index
+            result = self.access_path.read_rows_batch(
+                segment.key, stored[members] - segment.start, start_time
+            )
+            if result is None:  # pragma: no cover - guarded by supports_batch_reads
+                return None
+            matrix[members] = result.rows
+            completions[members] = result.completion_times
+        self.stats.ios += count
+        self.stats.rows_served += count
+        self.stats.bytes_served += count * row_len
+        return matrix, completions
+
     def cache_hit_seconds(self, num_bytes: int) -> float:
         # A row cached in this tier's memory still crosses the tier's media:
         # one byte-addressable access latency plus the link transfer.  Without
@@ -658,6 +743,11 @@ class DeviceTier(MemoryTier):
         self.io_engine.reset_stats()
         for device in self.devices:
             device.reset_stats()
+
+    def reset_queues(self) -> None:
+        self.io_engine.reset_queues()
+        for device in self.devices:
+            device.reset_queues()
 
 
 #: Promotion policies for rows read from slower tiers (see TierChain).

@@ -18,11 +18,23 @@ from repro.storage.spec import (
     zssd_spec,
 )
 from repro.storage.latency_model import LoadedLatencyModel
-from repro.storage.device import DeviceStats, SimulatedDevice
-from repro.storage.block_layout import BlockLayout, RowLocation
+from repro.storage.device import BatchReadScheduler, DeviceStats, SimulatedDevice
+from repro.storage.block_layout import BlockLayout, RowLocation, RowLocationBatch
 from repro.storage.sgl import ScatterGatherEntry, ScatterGatherList
-from repro.storage.io_engine import IOEngine, IOEngineConfig, IOMode, IORequest
-from repro.storage.access import AccessPath, DirectIOReader, MmapReader, ReadResult
+from repro.storage.io_engine import (
+    IOEngine,
+    IOEngineConfig,
+    IOMode,
+    IORequest,
+    IORequestBatch,
+)
+from repro.storage.access import (
+    AccessPath,
+    BatchReadResult,
+    DirectIOReader,
+    MmapReader,
+    ReadResult,
+)
 from repro.storage.endurance import EnduranceModel, update_interval_days
 
 __all__ = [
@@ -37,15 +49,19 @@ __all__ = [
     "LoadedLatencyModel",
     "SimulatedDevice",
     "DeviceStats",
+    "BatchReadScheduler",
     "BlockLayout",
     "RowLocation",
+    "RowLocationBatch",
     "ScatterGatherList",
     "ScatterGatherEntry",
     "IOEngine",
     "IOEngineConfig",
     "IOMode",
     "IORequest",
+    "IORequestBatch",
     "AccessPath",
+    "BatchReadResult",
     "DirectIOReader",
     "MmapReader",
     "ReadResult",

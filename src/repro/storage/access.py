@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.sim.units import BLOCK_SIZE, GIB
 from repro.storage.block_layout import BlockLayout
-from repro.storage.io_engine import IOEngine, IORequest
+from repro.storage.io_engine import IOEngine, IORequest, IORequestBatch
 
 
 @dataclass
@@ -32,14 +34,37 @@ class ReadResult:
     latency: float
 
 
+@dataclass
+class BatchReadResult:
+    """Array-native outcome of reading a batch of rows of one table.
+
+    ``rows`` stacks the payloads as one ``(n, row_bytes)`` uint8 matrix in
+    request order; ``completion_times`` is the per-row completion array.
+    """
+
+    rows: np.ndarray
+    completion_times: np.ndarray
+
+
 class AccessPath(abc.ABC):
     """Interface shared by the DIRECT-IO and mmap read paths."""
+
+    #: Whether :meth:`read_rows_batch` is implemented.  Callers must check
+    #: this *before* issuing any batch of a multi-group read so a mid-batch
+    #: ``None`` can never leave the engine partially mutated.
+    supports_batch_reads: bool = False
 
     @abc.abstractmethod
     def read_rows(
         self, table_name: str, row_indices: Sequence[int], start_time: float
     ) -> List[ReadResult]:
         """Read a set of rows of one table starting at ``start_time``."""
+
+    def read_rows_batch(
+        self, table_name: str, row_indices: np.ndarray, start_time: float
+    ) -> Optional[BatchReadResult]:
+        """Array-native :meth:`read_rows`; ``None`` when unsupported."""
+        return None
 
     @abc.abstractmethod
     def fm_footprint_bytes(self) -> int:
@@ -52,6 +77,8 @@ class DirectIOReader(AccessPath):
     Only the requested row bytes land in fast memory (when sub-block reads are
     enabled), and the application-level cache owns all FM space.
     """
+
+    supports_batch_reads = True
 
     def __init__(self, engine: IOEngine, layout: BlockLayout) -> None:
         self.engine = engine
@@ -85,6 +112,26 @@ class DirectIOReader(AccessPath):
             )
         return results
 
+    def read_rows_batch(
+        self, table_name: str, row_indices: np.ndarray, start_time: float
+    ) -> Optional[BatchReadResult]:
+        """Whole-batch DIRECT-IO read: locate, submit and gather as arrays.
+
+        Engine gating, device scheduling, RNG consumption and every stats
+        counter are bit-identical to :meth:`read_rows` — the submission goes
+        through :meth:`IOEngine.submit_row_reads_batch`, which replays the
+        scalar semantics over structure-of-arrays state.  A table extent
+        lives on exactly one device, so the payload gather is one
+        advanced-indexing read from that device's block store.
+        """
+        rows = np.asarray(row_indices, dtype=np.int64)
+        locations = self.layout.locate_batch(table_name, rows)
+        batch = IORequestBatch.from_locations(table_name, locations)
+        self.engine.submit_row_reads_batch(batch, start_time)
+        device = self.engine.devices[locations.device_index]
+        data = device.read_rows_ndarray(locations.lba, locations.offset, locations.length)
+        return BatchReadResult(rows=data, completion_times=batch.completion_time)
+
     def fm_footprint_bytes(self) -> int:
         return 0
 
@@ -112,7 +159,8 @@ class MmapReader(AccessPath):
         self.layout = layout
         self.latency_factor = latency_factor
         self.page_cache_capacity_bytes = page_cache_capacity_bytes
-        # Insertion-ordered page cache keyed by (device, lba); python dicts
+        # Insertion-ordered page cache keyed by (device, lba), valued by the
+        # completion time of the fault that brought the page in; python dicts
         # preserve insertion order so popping the first item gives FIFO
         # eviction, a reasonable stand-in for kernel page reclaim.
         self._page_cache: Dict[Tuple[int, int], float] = {}
@@ -129,9 +177,15 @@ class MmapReader(AccessPath):
         for row_index in row_indices:
             location = self.layout.locate(table_name, row_index)
             page_key = (location.device_index, location.lba)
-            if page_key in self._page_cache:
+            fault_done = self._page_cache.get(page_key)
+            if fault_done is not None:
                 self.page_hits += 1
-                # Page already resident: a memory access, no device IO.
+                # The page is mapped; if its fault has not completed yet the
+                # access stalls until it does (no new device IO either way).
+                if fault_done <= start_time:
+                    completion_time, access_latency = start_time, 0.0
+                else:
+                    completion_time, access_latency = fault_done, fault_done - start_time
                 results.append(
                     ReadResult(
                         table_name=table_name,
@@ -142,8 +196,8 @@ class MmapReader(AccessPath):
                         requested_bytes=location.length,
                         transferred_bytes=0,
                         fm_bytes_consumed=0,
-                        completion_time=start_time,
-                        latency=0.0,
+                        completion_time=completion_time,
+                        latency=access_latency,
                     )
                 )
                 continue

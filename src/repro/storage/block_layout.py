@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+import numpy as np
+
 from repro.sim.units import BLOCK_SIZE
 
 
@@ -28,6 +30,24 @@ class RowLocation:
         """The (start, end) byte range of the containing block."""
         start = self.lba * BLOCK_SIZE
         return start, start + BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class RowLocationBatch:
+    """Physical locations of a batch of rows of one table extent.
+
+    A table extent lives on exactly one device and every row shares a byte
+    length, so only the per-row ``lba``/``offset`` vary; ``device_index`` and
+    ``length`` stay scalars.
+    """
+
+    device_index: int
+    lba: np.ndarray
+    offset: np.ndarray
+    length: int
+
+    def __len__(self) -> int:
+        return int(self.lba.size)
 
 
 @dataclass(frozen=True)
@@ -134,6 +154,25 @@ class BlockLayout:
             )
         block_offset, row_in_block = divmod(row_index, extent.rows_per_block)
         return RowLocation(
+            device_index=extent.device_index,
+            lba=extent.first_lba + block_offset,
+            offset=row_in_block * extent.row_bytes,
+            length=extent.row_bytes,
+        )
+
+    def locate_batch(self, table_name: str, row_indices: np.ndarray) -> RowLocationBatch:
+        """Vectorised :meth:`locate` for a whole array of row indices."""
+        extent = self.extent(table_name)
+        rows = np.asarray(row_indices, dtype=np.int64)
+        if rows.size:
+            bad = (rows < 0) | (rows >= extent.num_rows)
+            if bool(bad.any()):
+                raise IndexError(
+                    f"row {int(rows[bad][0])} out of range for table {table_name!r} "
+                    f"with {extent.num_rows} rows"
+                )
+        block_offset, row_in_block = np.divmod(rows, extent.rows_per_block)
+        return RowLocationBatch(
             device_index=extent.device_index,
             lba=extent.first_lba + block_offset,
             offset=row_in_block * extent.row_bytes,

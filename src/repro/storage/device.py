@@ -7,12 +7,18 @@ parallelism`` seconds, so aggregate throughput saturates at the spec's IOPS
 ceiling while latency stays near the unloaded base latency until the device
 approaches saturation -- the behaviour Figure 3 of the paper shows for Nand
 Flash and Optane SSDs.
+
+Block contents live in one contiguous uint8 ndarray (a slot per written
+block, slot 0 reserved as the all-zero image of never-written blocks), so a
+whole batch of row reads gathers with a single advanced-indexing operation
+instead of a per-row ``bytes`` join.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +59,101 @@ class DeviceStats:
         return self
 
 
+class BatchReadScheduler:
+    """Replays :meth:`SimulatedDevice.schedule_read` timing for one batch.
+
+    Queue-depth gating in the IO engine makes batched submission inherently
+    sequential -- the completion of request *i* feeds the outstanding-IO pools
+    that gate request *i + 1* -- so the device side exposes a stepping session
+    instead of a whole-array call: the engine opens one session per device in
+    a batch, calls :meth:`schedule` once per IO in request order, and
+    :meth:`finish` writes channel state and stats back exactly once.
+
+    Bit-identical to the scalar path by construction:
+
+    * channel assignment pops a ``(free_time, channel)`` heap whose
+      lexicographic tie-break equals ``np.argmin``'s first-minimum rule;
+    * the tail-penalty draws are one ``rng.random(count)`` call, which
+      consumes the PCG64 stream exactly like ``count`` scalar ``random()``
+      calls;
+    * float accumulations (completion sum, ``busy_time``) replay the scalar
+      left-to-right addition chains term for term.
+    """
+
+    __slots__ = (
+        "_device",
+        "_service",
+        "_base",
+        "_bus",
+        "_heap",
+        "_tails",
+        "_tail_events",
+        "_next_tail",
+        "_reads",
+        "_bytes_requested",
+        "_bytes_transferred",
+        "_busy",
+        "_finished",
+    )
+
+    def __init__(self, device: "SimulatedDevice", count: int) -> None:
+        spec = device.spec
+        self._device = device
+        self._service = spec.service_time_per_io()
+        self._base = spec.base_read_latency
+        self._bus = spec.read_bus_bandwidth
+        probability = spec.tail_latency_probability
+        self._tails: List[float] = []
+        self._tail_events = 0
+        if probability > 0.0 and count > 0:
+            draws = device.rng.random(count)
+            flags = draws < probability
+            self._tail_events = int(np.count_nonzero(flags))
+            tails = np.where(flags, spec.tail_latency, 0.0)
+            self._tails = [float(value) for value in tails]
+        self._next_tail = 0
+        heap = [(float(free), channel) for channel, free in enumerate(device.channel_free)]
+        heapq.heapify(heap)
+        self._heap: List[Tuple[float, int]] = heap
+        self._reads = 0
+        self._bytes_requested = 0
+        self._bytes_transferred = 0
+        self._busy = device.stats.busy_time
+        self._finished = False
+
+    def schedule(self, arrival_time: float, requested: int, transferred: int) -> float:
+        """Schedule one read IO; returns its device-side completion time."""
+        free, channel = heapq.heappop(self._heap)
+        start = arrival_time if arrival_time > free else free
+        heapq.heappush(self._heap, (start + self._service, channel))
+        transfer = transferred / self._bus
+        tail = 0.0
+        if self._tails:
+            tail = self._tails[self._next_tail]
+            self._next_tail += 1
+        completion = start + self._service + self._base + transfer + tail
+        self._reads += 1
+        self._bytes_requested += requested
+        self._bytes_transferred += transferred
+        self._busy += self._service + transfer
+        return completion
+
+    def finish(self) -> None:
+        """Write channel occupancy and stats back to the device."""
+        if self._finished:
+            return
+        self._finished = True
+        device = self._device
+        for free, channel in self._heap:
+            device.channel_free[channel] = free
+        stats = device.stats
+        stats.reads += self._reads
+        stats.bytes_requested += self._bytes_requested
+        stats.bytes_transferred += self._bytes_transferred
+        stats.tail_events += self._tail_events
+        stats.busy_time = self._busy
+
+
 class SimulatedDevice:
     """A simulated NVMe (or CXL/DIMM) device holding real block data."""
 
@@ -60,9 +161,13 @@ class SimulatedDevice:
         self.spec = spec
         self.stats = DeviceStats()
         self.latency_model = LoadedLatencyModel(spec)
-        self._blocks: Dict[int, bytearray] = {}
-        self._channel_free = np.zeros(spec.internal_parallelism, dtype=float)
-        self._rng = make_rng(seed, "device", spec.name)
+        # Written blocks live as rows of one contiguous store; slot 0 is the
+        # reserved all-zero image returned for never-written blocks.
+        self._block_slots: Dict[int, int] = {}
+        self._block_store: np.ndarray = np.zeros((1, BLOCK_SIZE), dtype=np.uint8)
+        self._num_slots = 1
+        self.channel_free: np.ndarray = np.zeros(spec.internal_parallelism, dtype=float)
+        self.rng = make_rng(seed, "device", spec.name)
         self._num_blocks = spec.capacity_bytes // BLOCK_SIZE
 
     # ------------------------------------------------------------------ data
@@ -77,6 +182,27 @@ class SimulatedDevice:
                 f"with {self._num_blocks} blocks"
             )
 
+    def check_lbas(self, lbas: np.ndarray) -> None:
+        """Vectorised :meth:`_check_lba` over an int64 array."""
+        if lbas.size == 0:
+            return
+        bad = (lbas < 0) | (lbas >= self._num_blocks)
+        if bool(bad.any()):
+            self._check_lba(int(lbas[bad][0]))
+
+    def _slot_for_write(self, lba: int) -> int:
+        slot = self._block_slots.get(lba)
+        if slot is not None:
+            return slot
+        if self._num_slots == self._block_store.shape[0]:
+            grown = np.zeros((2 * self._num_slots, BLOCK_SIZE), dtype=np.uint8)
+            grown[: self._num_slots] = self._block_store
+            self._block_store = grown
+        slot = self._num_slots
+        self._num_slots += 1
+        self._block_slots[lba] = slot
+        return slot
+
     def write_block(self, lba: int, data: bytes, offset: int = 0) -> None:
         """Write ``data`` into a block (content only; use :meth:`write` for timing)."""
         self._check_lba(lba)
@@ -84,8 +210,10 @@ class SimulatedDevice:
             raise ValueError(
                 f"write of {len(data)} B at offset {offset} exceeds the {BLOCK_SIZE} B block"
             )
-        block = self._blocks.setdefault(lba, bytearray(BLOCK_SIZE))
-        block[offset : offset + len(data)] = data
+        slot = self._slot_for_write(lba)
+        self._block_store[slot, offset : offset + len(data)] = np.frombuffer(
+            data, dtype=np.uint8
+        )
         self.stats.bytes_written += len(data)
         self.stats.writes += 1
 
@@ -98,16 +226,43 @@ class SimulatedDevice:
             raise ValueError(
                 f"read of {length} B at offset {offset} exceeds the {BLOCK_SIZE} B block"
             )
-        block = self._blocks.get(lba)
-        if block is None:
-            return bytes(length)
-        return bytes(block[offset : offset + length])
+        slot = self._block_slots.get(lba, 0)
+        return self._block_store[slot, offset : offset + length].tobytes()
+
+    def read_rows_ndarray(self, lbas: np.ndarray, offsets: np.ndarray, length: int) -> np.ndarray:
+        """Gather equal-length byte ranges as one ``(n, length)`` uint8 matrix.
+
+        The batched counterpart of per-row :meth:`read_block_data` calls: one
+        advanced-indexing gather from the contiguous block store, no timing.
+        """
+        lbas = np.asarray(lbas, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        self.check_lbas(lbas)
+        if length < 0:
+            raise ValueError(f"length must be non-negative: {length}")
+        if lbas.size and bool(
+            ((offsets < 0) | (offsets + length > BLOCK_SIZE)).any()
+        ):
+            bad = int(offsets[(offsets < 0) | (offsets + length > BLOCK_SIZE)][0])
+            raise ValueError(
+                f"read of {length} B at offset {bad} exceeds the {BLOCK_SIZE} B block"
+            )
+        unique_lbas, inverse = np.unique(lbas, return_inverse=True)
+        slots_of_unique = np.fromiter(
+            (self._block_slots.get(int(lba), 0) for lba in unique_lbas),
+            dtype=np.int64,
+            count=int(unique_lbas.size),
+        )
+        slots = slots_of_unique[inverse]
+        columns = offsets[:, None] + np.arange(length, dtype=np.int64)[None, :]
+        result: np.ndarray = self._block_store[slots[:, None], columns]
+        return result
 
     # ---------------------------------------------------------------- timing
     def _tail_penalty(self) -> float:
         if self.spec.tail_latency_probability <= 0.0:
             return 0.0
-        if self._rng.random() < self.spec.tail_latency_probability:
+        if self.rng.random() < self.spec.tail_latency_probability:
             self.stats.tail_events += 1
             return self.spec.tail_latency
         return 0.0
@@ -132,10 +287,10 @@ class SimulatedDevice:
         )
         requested = sgl.requested_bytes()
 
-        channel = int(np.argmin(self._channel_free))
-        start = max(arrival_time, float(self._channel_free[channel]))
+        channel = int(np.argmin(self.channel_free))
+        start = max(arrival_time, float(self.channel_free[channel]))
         service = self.spec.service_time_per_io()
-        self._channel_free[channel] = start + service
+        self.channel_free[channel] = start + service
         transfer = transferred / self.spec.read_bus_bandwidth
         completion = (
             start
@@ -156,13 +311,24 @@ class SimulatedDevice:
         self.stats.busy_time += service + transfer
         return data, completion, transferred
 
+    def schedule_read_batch(self, count: int) -> BatchReadScheduler:
+        """Open a :class:`BatchReadScheduler` session for ``count`` read IOs.
+
+        Draws the session's tail-latency samples up front (one batched RNG
+        call) and snapshots channel state; call :meth:`BatchReadScheduler.schedule`
+        once per IO in request order, then :meth:`BatchReadScheduler.finish`.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        return BatchReadScheduler(self, count)
+
     def schedule_write(self, lba: int, data: bytes, arrival_time: float, offset: int = 0) -> float:
         """Write with timing; returns the completion time."""
         self.write_block(lba, data, offset=offset)
         write_time = len(data) / self.spec.write_bandwidth
-        channel = int(np.argmin(self._channel_free))
-        start = max(arrival_time, float(self._channel_free[channel]))
-        self._channel_free[channel] = start + write_time
+        channel = int(np.argmin(self.channel_free))
+        start = max(arrival_time, float(self.channel_free[channel]))
+        self.channel_free[channel] = start + write_time
         self.stats.busy_time += write_time
         return start + write_time + self.spec.base_read_latency
 
@@ -173,10 +339,15 @@ class SimulatedDevice:
 
     def outstanding_at(self, time: float) -> int:
         """Number of channels still busy at ``time`` (a proxy for queue depth)."""
-        return int(np.sum(self._channel_free > time))
+        return int(np.sum(self.channel_free > time))
 
     def reset_stats(self) -> None:
+        """Zero the cumulative counters; channel occupancy is untouched."""
         self.stats = DeviceStats()
+
+    def reset_queues(self) -> None:
+        """Free every internal channel (behavioural state); stats untouched."""
+        self.channel_free[:] = 0.0
 
     def __repr__(self) -> str:
         return f"SimulatedDevice({self.spec.name!r}, {self.spec.capacity_bytes} B)"

@@ -15,13 +15,16 @@ This module models those costs and constraints:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.sim.units import BLOCK_SIZE, MICROSECOND
-from repro.storage.device import SimulatedDevice
-from repro.storage.sgl import ScatterGatherList
-from repro.storage.block_layout import RowLocation
+from repro.storage.device import BatchReadScheduler, SimulatedDevice
+from repro.storage.sgl import DWORD, ScatterGatherList
+from repro.storage.block_layout import RowLocation, RowLocationBatch
 
 
 class IOMode(str, enum.Enum):
@@ -106,6 +109,51 @@ class IORequest:
     @property
     def latency(self) -> float:
         return self.completion_time - self.submit_time
+
+
+@dataclass
+class IORequestBatch:
+    """Structure-of-arrays batch of row reads (single-entry SGLs).
+
+    The array-native counterpart of a list of :class:`IORequest` objects:
+    ``device_index``/``lba``/``offset``/``length`` are parallel int64 input
+    arrays, and :meth:`IOEngine.submit_row_reads_batch` fills the
+    ``submit_time``/``completion_time``/``transferred_bytes``/``host_overhead``
+    output arrays in request order.
+    """
+
+    table_name: str
+    device_index: np.ndarray
+    lba: np.ndarray
+    offset: np.ndarray
+    length: np.ndarray
+    submit_time: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    completion_time: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    transferred_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    host_overhead: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __post_init__(self) -> None:
+        count = int(self.lba.size)
+        if self.submit_time.size != count:
+            self.submit_time = np.zeros(count, dtype=np.float64)
+            self.completion_time = np.zeros(count, dtype=np.float64)
+            self.transferred_bytes = np.zeros(count, dtype=np.int64)
+            self.host_overhead = np.zeros(count, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return int(self.lba.size)
+
+    @classmethod
+    def from_locations(cls, table_name: str, locations: RowLocationBatch) -> "IORequestBatch":
+        """Build a batch from one extent's :class:`RowLocationBatch`."""
+        count = len(locations)
+        return cls(
+            table_name=table_name,
+            device_index=np.full(count, locations.device_index, dtype=np.int64),
+            lba=np.asarray(locations.lba, dtype=np.int64),
+            offset=np.asarray(locations.offset, dtype=np.int64),
+            length=np.full(count, locations.length, dtype=np.int64),
+        )
 
 
 @dataclass
@@ -217,6 +265,123 @@ class IOEngine:
             completed.append(request)
         return completed
 
+    def submit_row_reads_batch(self, batch: IORequestBatch, start_time: float) -> IORequestBatch:
+        """Array-native :meth:`submit_row_reads`; fills the batch in place.
+
+        Bit-identical to submitting the same requests one at a time: the
+        per-device and per-table queue-depth gates are replayed over *sorted*
+        outstanding-completion lists (pool order is semantically irrelevant —
+        only the multiset of live completion times gates a submission — so
+        each pool is sorted once on entry and kept sorted with ``insort``,
+        turning the scalar path's per-call filter/sort passes into bisects),
+        device scheduling steps through one :class:`BatchReadScheduler`
+        session per device, and every float accumulation repeats the scalar
+        left-to-right addition chain.  Transferred sizes (the DWORD-aligned
+        single-entry SGL arithmetic) are precomputed vectorised.
+        """
+        count = len(batch)
+        if count == 0:
+            return batch
+        if start_time < 0:
+            raise ValueError(f"arrival_time must be non-negative: {start_time}")
+        device_index = np.asarray(batch.device_index, dtype=np.int64)
+        bad_device = (device_index < 0) | (device_index >= len(self.devices))
+        if bool(bad_device.any()):
+            raise IndexError(
+                f"request for table {batch.table_name!r} references device "
+                f"{int(device_index[bad_device][0])}, engine has {len(self.devices)}"
+            )
+        offset = np.asarray(batch.offset, dtype=np.int64)
+        length = np.asarray(batch.length, dtype=np.int64)
+        lba = np.asarray(batch.lba, dtype=np.int64)
+        invalid = (offset < 0) | (length <= 0) | (offset + length > BLOCK_SIZE)
+        if bool(invalid.any()):
+            where = int(np.nonzero(invalid)[0][0])
+            raise ValueError(
+                f"range [{int(offset[where])}, {int(offset[where]) + int(length[where])}) "
+                f"exceeds the {BLOCK_SIZE} B block"
+            )
+
+        sub_block = self.config.sub_block_reads
+        transferred = np.empty(count, dtype=np.int64)
+        schedulers: Dict[int, BatchReadScheduler] = {}
+        pools = self._outstanding_per_device
+        for raw_id in np.unique(device_index):
+            device_id = int(raw_id)
+            mask = device_index == device_id
+            device = self.devices[device_id]
+            device.check_lbas(lba[mask])
+            if sub_block and device.spec.supports_sub_block:
+                aligned_start = (offset[mask] // DWORD) * DWORD
+                aligned_end = -(-(offset[mask] + length[mask]) // DWORD) * DWORD
+                transferred[mask] = aligned_end - aligned_start
+            else:
+                transferred[mask] = BLOCK_SIZE
+            pools[device_id].sort()
+            schedulers[device_id] = device.schedule_read_batch(int(np.count_nonzero(mask)))
+        table_pool = self._outstanding_per_table.setdefault(batch.table_name, [])
+        table_pool.sort()
+
+        device_ids = device_index.tolist()
+        lengths = length.tolist()
+        transfers = transferred.tolist()
+        device_limit = self.config.max_outstanding_per_device
+        table_limit = self.config.max_outstanding_per_table
+        cpu_per_io = self.config.cpu_time_per_io
+        memcpy_time = 0.0 if sub_block else BLOCK_SIZE / self.config.memcpy_bandwidth
+        host_overhead = cpu_per_io if sub_block else cpu_per_io + memcpy_time
+        cpu_seconds = self.stats.cpu_seconds
+        memcpy_seconds = self.stats.memcpy_seconds
+        throttled = 0
+        submits: List[float] = []
+        completions: List[float] = []
+
+        for position in range(count):
+            device_id = device_ids[position]
+            pool = pools[device_id]
+            submit = start_time
+            if pool:
+                cut = bisect_right(pool, submit)
+                if cut:
+                    del pool[:cut]
+                if len(pool) >= device_limit:
+                    submit = pool[len(pool) - device_limit]
+                    throttled += 1
+                    del pool[: bisect_right(pool, submit)]
+            if table_pool:
+                cut = bisect_right(table_pool, submit)
+                if cut:
+                    del table_pool[:cut]
+                if len(table_pool) >= table_limit:
+                    submit = table_pool[len(table_pool) - table_limit]
+                    throttled += 1
+                    del table_pool[: bisect_right(table_pool, submit)]
+            completion = schedulers[device_id].schedule(
+                submit, lengths[position], transfers[position]
+            )
+            cpu_seconds += cpu_per_io
+            if memcpy_time:
+                memcpy_seconds += memcpy_time
+            completion = completion + host_overhead
+            insort(pool, completion)
+            insort(table_pool, completion)
+            submits.append(submit)
+            completions.append(completion)
+
+        for scheduler in schedulers.values():
+            scheduler.finish()
+        batch.submit_time[:] = submits
+        batch.completion_time[:] = completions
+        batch.transferred_bytes[:] = transferred
+        batch.host_overhead[:] = host_overhead
+        self.stats.ios_submitted += count
+        self.stats.cpu_seconds = cpu_seconds
+        self.stats.memcpy_seconds = memcpy_seconds
+        self.stats.bytes_requested += int(length.sum())
+        self.stats.bytes_transferred += int(transferred.sum())
+        self.stats.throttled_submissions += throttled
+        return batch
+
     def batch_completion_time(self, requests: Sequence[IORequest]) -> float:
         """Completion time of the slowest request in a completed batch."""
         if not requests:
@@ -224,7 +389,11 @@ class IOEngine:
         return max(request.completion_time for request in requests)
 
     def reset_stats(self) -> None:
+        """Zero the cumulative counters; outstanding-IO pools are untouched."""
         self.stats = IOEngineStats()
+
+    def reset_queues(self) -> None:
+        """Forget outstanding IOs (the queue-depth gating state); stats untouched."""
         for pool in self._outstanding_per_device.values():
             pool.clear()
         self._outstanding_per_table.clear()

@@ -17,6 +17,7 @@ from repro.core import SDMConfig, SoftwareDefinedMemory
 from repro.core.config import AccessPathKind
 from repro.dlrm import DLRMModel, EmbeddingTable, EmbeddingTableSpec, MLP
 from repro.dlrm.pruning import prune_table
+from repro.storage import IOEngineConfig
 from repro.workload import QueryGenerator, WorkloadConfig
 
 NUM_QUERIES = 40
@@ -24,7 +25,9 @@ NUM_QUERIES = 40
 # Configuration axes the batched gather must cover (or detect and fall
 # back from): quantisation width, pruning (with and without depruning),
 # access path, tier count, promotion policy, row splitting, cache
-# partitioning and a cache small enough to force evictions mid-stream.
+# partitioning, a cache small enough to force evictions mid-stream,
+# queue-depth limits tight enough to throttle mid-batch, and the
+# full-block (no sub-block SGL) transfer path with its memcpy accounting.
 VARIANTS = {
     "default": {},
     "pooled-off": {"pooled_cache_enabled": False},
@@ -45,6 +48,14 @@ VARIANTS = {
     "split-rows": {"split_rows": True, "tiers": "dram:2KiB,cxl:40KiB:64KiB,nand:1GiB"},
     "four-partitions": {"num_cache_partitions": 4},
     "tiny-cache": {"row_cache_capacity_bytes": 4 * 1024},
+    "throttled-io": {
+        "row_cache_capacity_bytes": 4 * 1024,
+        "io": IOEngineConfig(max_outstanding_per_device=4, max_outstanding_per_table=2),
+    },
+    "full-block-io": {
+        "row_cache_capacity_bytes": 4 * 1024,
+        "io": IOEngineConfig(sub_block_reads=False),
+    },
 }
 
 

@@ -6,6 +6,7 @@ import pytest
 from repro.core import (
     PooledEmbeddingCache,
     order_invariant_hash,
+    order_invariant_hash_batch,
     profile_subsequence_schemes,
 )
 
@@ -32,7 +33,68 @@ class TestOrderInvariantHash:
         assert order_invariant_hash([5, 9, 11]) == order_invariant_hash([5, 9, 11])
 
 
-class TestPooledEmbeddingCache:
+class TestOrderInvariantHashBatch:
+    """The vectorised hash must equal the scalar hash value for value."""
+
+    @pytest.mark.parametrize(
+        "indices",
+        [
+            [0],
+            [1, 2, 3],
+            [3, 1, 2],
+            [1, 1, 7],
+            list(range(100)),
+            [2**62, 2**63 - 1, 0, 5],  # uint64 wrap-around territory
+        ],
+    )
+    def test_matches_scalar_hash(self, indices):
+        array = np.asarray(indices, dtype=np.int64)
+        assert order_invariant_hash_batch(array) == order_invariant_hash(indices)
+
+    def test_order_invariance(self):
+        forward = np.arange(50, dtype=np.int64)
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(forward)
+        assert order_invariant_hash_batch(forward) == order_invariant_hash_batch(shuffled)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            order_invariant_hash_batch(np.array([], dtype=np.int64))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            order_invariant_hash_batch(np.array([3, -1], dtype=np.int64))
+
+
+class TestPooledCacheBatchProbes:
+    """probe_batch/put_batch: scalar get/put with a vectorised key hash."""
+
+    def test_batch_and_scalar_entries_interoperate(self):
+        cache = PooledEmbeddingCache(capacity_bytes=64 * 1024)
+        pooled = np.ones(8, dtype=np.float32)
+        indices = [4, 2, 9]
+        cache.put("t", indices, pooled)
+        via_batch = cache.probe_batch("t", np.asarray(indices, dtype=np.int64))
+        assert via_batch is not None
+        np.testing.assert_array_equal(via_batch, pooled)
+        cache.put_batch("u", np.asarray(indices, dtype=np.int64), pooled)
+        via_scalar = cache.get("u", indices)
+        assert via_scalar is not None
+        np.testing.assert_array_equal(via_scalar, pooled)
+
+    def test_stats_match_scalar_probes(self):
+        scalar = PooledEmbeddingCache(capacity_bytes=64 * 1024, len_threshold=2)
+        batched = PooledEmbeddingCache(capacity_bytes=64 * 1024, len_threshold=2)
+        pooled = np.zeros(4, dtype=np.float32)
+        workload = [[1, 2, 3], [9], [1, 2, 3], [5, 6, 7, 8], [3, 2, 1]]
+        for indices in workload:
+            if scalar.get("t", indices) is None:
+                scalar.put("t", indices, pooled)
+            array = np.asarray(indices, dtype=np.int64)
+            if batched.probe_batch("t", array) is None:
+                batched.put_batch("t", array, pooled)
+        assert scalar.stats == batched.stats
+        assert scalar.item_count == batched.item_count
     def test_miss_then_hit(self):
         cache = PooledEmbeddingCache(64 * 1024, len_threshold=1)
         vector = np.arange(8, dtype=np.float32)

@@ -1,5 +1,6 @@
 """Tests for the DIRECT-IO and mmap access paths."""
 
+import numpy as np
 import pytest
 
 from repro.sim.units import BLOCK_SIZE, GB
@@ -48,6 +49,29 @@ class TestDirectIOReader:
         results = reader.read_rows("t", [3, 7, 1], 0.0)
         assert [r.row_index for r in results] == [3, 7, 1]
 
+    def test_batch_read_matches_scalar_reads(self):
+        rows = [3, 7, 1, 7, 40, 0]
+        scalar_reader, scalar_device = _setup(DirectIOReader)
+        batch_reader, batch_device = _setup(DirectIOReader)
+        assert batch_reader.supports_batch_reads
+        scalar_results = scalar_reader.read_rows("t", rows, 0.25)
+        batch = batch_reader.read_rows_batch(
+            "t", np.asarray(rows, dtype=np.int64), 0.25
+        )
+        assert [r.data for r in scalar_results] == [
+            row.tobytes() for row in batch.rows
+        ]
+        assert [
+            r.completion_time for r in scalar_results
+        ] == batch.completion_times.tolist()
+        assert scalar_device.stats == batch_device.stats
+        assert scalar_reader.engine.stats == batch_reader.engine.stats
+
+    def test_mmap_reader_has_no_batch_path(self):
+        reader, _ = _setup(MmapReader)
+        assert not reader.supports_batch_reads
+        assert reader.read_rows_batch("t", np.array([1], dtype=np.int64), 0.0) is None
+
 
 class TestMmapReader:
     def test_page_fault_then_hit(self):
@@ -83,6 +107,41 @@ class TestMmapReader:
         for row in (0, 40, 80, 120):
             reader.read_rows("t", [row], 0.0)
         assert reader.fm_footprint_bytes() <= 2 * BLOCK_SIZE
+
+    def test_page_cache_eviction_at_exact_capacity_boundary(self):
+        # Capacity = exactly 2 pages: the 2nd fault fills the cache without
+        # evicting, the 3rd evicts precisely the oldest page (FIFO), and a
+        # re-read of the evicted block faults again.
+        reader, _ = _setup(MmapReader, page_cache_capacity_bytes=2 * BLOCK_SIZE)
+        rows = (0, 40, 80)  # three distinct blocks (32 rows of 128 B / block)
+        cursor = 0.0
+        for row in rows:
+            cursor = reader.read_rows("t", [row], cursor)[0].completion_time
+        assert reader.page_faults == 3
+        assert reader.fm_footprint_bytes() == 2 * BLOCK_SIZE
+        # Block of row 40 (2nd fault) survived; block of row 0 was evicted.
+        hit = reader.read_rows("t", [40], cursor)[0]
+        assert reader.page_hits == 1
+        assert hit.latency == 0.0
+        reader.read_rows("t", [0], cursor)
+        assert reader.page_faults == 4
+
+    def test_access_before_fault_completion_waits_for_the_fault(self):
+        # Two rows of the same block, second access issued while the first
+        # fault is still in flight: it counts as a page hit (no new IO) but
+        # stalls until the fault's completion time.
+        reader, _ = _setup(MmapReader)
+        fault = reader.read_rows("t", [0], 0.0)[0]
+        assert fault.completion_time > 0.0
+        early = reader.read_rows("t", [1], 0.0)[0]
+        assert reader.page_faults == 1
+        assert reader.page_hits == 1
+        assert early.completion_time == fault.completion_time
+        assert early.latency == pytest.approx(fault.completion_time)
+        # After the fault completes the page serves instantly.
+        late = reader.read_rows("t", [1], fault.completion_time)[0]
+        assert late.latency == 0.0
+        assert late.completion_time == fault.completion_time
 
     def test_mmap_data_matches_direct_io(self):
         direct, _ = _setup(DirectIOReader)

@@ -1,5 +1,6 @@
 """Tests for the simulated SM device."""
 
+import numpy as np
 import pytest
 
 from repro.sim.units import BLOCK_SIZE, GB
@@ -128,6 +129,129 @@ class TestDeviceReadTiming:
         for _ in range(5000):
             device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
         assert device.stats.tail_events > 0
+
+
+class TestBatchReadScheduler:
+    """schedule_read_batch sessions replay scalar timing bit for bit."""
+
+    def _scalar_and_batched(self, spec_factory, count, arrivals=None, seed=0):
+        scalar = _make_device(spec_factory, capacity=1 * GB, seed=seed)
+        batched = _make_device(spec_factory, capacity=1 * GB, seed=seed)
+        arrivals = arrivals if arrivals is not None else [0.0] * count
+        scalar_times = []
+        for arrival in arrivals:
+            _, completion, _ = scalar.schedule_read(0, _single_range_sgl(0, 128), arrival)
+            scalar_times.append(completion)
+        session = batched.schedule_read_batch(count)
+        # The single-entry SGL for (0, 128) transfers its DWORD-aligned span.
+        transferred = _single_range_sgl(0, 128).transferred_bytes(True)
+        batched_times = [
+            session.schedule(arrival, 128, transferred) for arrival in arrivals
+        ]
+        session.finish()
+        return scalar, batched, scalar_times, batched_times
+
+    @pytest.mark.parametrize("spec_factory", [nand_flash_spec, optane_ssd_spec])
+    def test_completions_channels_and_stats_match_scalar(self, spec_factory):
+        arrivals = [0.0, 0.0, 1e-6, 5e-5, 5e-5, 2e-4] * 30
+        scalar, batched, scalar_times, batched_times = self._scalar_and_batched(
+            spec_factory, len(arrivals), arrivals
+        )
+        assert batched_times == scalar_times
+        assert batched.channel_free.tolist() == scalar.channel_free.tolist()
+        assert batched.stats == scalar.stats
+
+    def test_tail_rng_stream_identical_to_scalar_draws(self):
+        # nand has tail_latency_probability=2e-3: over 3000 IOs both paths
+        # must hit the same tail events and leave the same PCG64 state.
+        scalar, batched, scalar_times, batched_times = self._scalar_and_batched(
+            nand_flash_spec, 3000, seed=3
+        )
+        assert scalar.stats.tail_events > 0
+        assert batched_times == scalar_times
+        assert batched.stats.tail_events == scalar.stats.tail_events
+        assert batched.rng.bit_generator.state == scalar.rng.bit_generator.state
+
+    def test_tail_free_device_draws_nothing_from_the_stream(self):
+        # dimm 3DXP has tail_latency_probability=0, and a zero-count session
+        # has nothing to draw for: neither may advance the RNG (the scalar
+        # path skips the draw in exactly these cases).
+        from repro.storage import dimm_3dxp_spec
+
+        no_tail = _make_device(dimm_3dxp_spec)
+        before = no_tail.rng.bit_generator.state
+        session = no_tail.schedule_read_batch(8)
+        session.schedule(0.0, 128, 128)
+        session.finish()
+        assert no_tail.rng.bit_generator.state == before
+
+        tail_prone = _make_device(nand_flash_spec)
+        before = tail_prone.rng.bit_generator.state
+        tail_prone.schedule_read_batch(0).finish()
+        assert tail_prone.rng.bit_generator.state == before
+
+    def test_finish_is_idempotent(self):
+        device = _make_device()
+        session = device.schedule_read_batch(4)
+        for _ in range(4):
+            session.schedule(0.0, 128, 128)
+        session.finish()
+        stats_after = device.stats.reads
+        session.finish()
+        assert device.stats.reads == stats_after == 4
+
+    def test_negative_count_rejected(self):
+        device = _make_device()
+        with pytest.raises(ValueError):
+            device.schedule_read_batch(-1)
+
+
+class TestReadRowsNdarray:
+    def test_gather_matches_per_row_reads(self):
+        device = _make_device()
+        device.write_block(2, bytes(range(200)), offset=0)
+        device.write_block(5, bytes(reversed(range(200))), offset=100)
+        lbas = np.array([2, 5, 2, 9], dtype=np.int64)  # lba 9 never written
+        offsets = np.array([0, 100, 64, 0], dtype=np.int64)
+        matrix = device.read_rows_ndarray(lbas, offsets, 64)
+        assert matrix.shape == (4, 64)
+        for row, (lba, offset) in enumerate(zip(lbas, offsets)):
+            assert matrix[row].tobytes() == device.read_block_data(int(lba), int(offset), 64)
+
+    def test_bad_lba_rejected(self):
+        device = _make_device(capacity=BLOCK_SIZE * 4)
+        with pytest.raises(IndexError):
+            device.read_rows_ndarray(
+                np.array([0, 4], dtype=np.int64), np.zeros(2, dtype=np.int64), 16
+            )
+
+    def test_range_beyond_block_rejected(self):
+        device = _make_device()
+        with pytest.raises(ValueError):
+            device.read_rows_ndarray(
+                np.zeros(1, dtype=np.int64),
+                np.array([BLOCK_SIZE - 8], dtype=np.int64),
+                64,
+            )
+
+
+class TestDeviceResetSplit:
+    def test_reset_stats_leaves_channels_busy(self):
+        device = _make_device()
+        device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
+        busy_before = device.channel_free.copy()
+        device.reset_stats()
+        assert device.stats.reads == 0
+        assert device.channel_free.tolist() == busy_before.tolist()
+
+    def test_reset_queues_frees_channels_and_keeps_stats(self):
+        device = _make_device()
+        device.schedule_read(0, _single_range_sgl(0, 128), 0.0)
+        assert device.outstanding_at(0.0) > 0
+        device.reset_queues()
+        assert device.outstanding_at(0.0) == 0
+        assert device.channel_free.tolist() == [0.0] * device.spec.internal_parallelism
+        assert device.stats.reads == 1
 
 
 class TestDeviceWriteTiming:
