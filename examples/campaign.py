@@ -70,13 +70,30 @@ def build_campaign(queue_depth: int) -> CampaignSpec:
 def run_into(campaign: CampaignSpec, store_dir: Path):
     store = ExperimentStore(store_dir)
     store.write_campaign(campaign.to_dict())
-    outcomes = run_campaign(campaign, parallel=4, store=store)
+    # runtime="pool" is the work-stealing executor: points dispatch
+    # longest-expected-first, each worker keeps built backends resident
+    # across points sharing a backend_hash (here: all six points per
+    # BackendChoice), a failing point would quarantine instead of aborting
+    # its siblings, and every worker appends straight to its own store
+    # shard.  Serial, pool, and reuse-off all produce bit-identical results.
+    outcomes = run_campaign(campaign, parallel=4, runtime="pool", retries=1, store=store)
     cached = sum(1 for outcome in outcomes if outcome.cached)
+    failed = [outcome for outcome in outcomes if outcome.failed]
     print(f"{store_dir.name}: {len(outcomes)} points ({cached} from store)")
+    if failed:
+        raise SystemExit(
+            f"{len(failed)} point(s) quarantined, e.g. "
+            f"{failed[0].scenario}: {failed[0].error_type}: {failed[0].error}"
+        )
     return outcomes
 
 
 def main() -> None:
+    # Plan first: the dry runtime expands and validates the whole grid and
+    # reports what would execute, without simulating anything.
+    plan = run_campaign(build_campaign(queue_depth=64), runtime="dry")
+    print(f"plan: {len(plan)} points, e.g. {plan[0].scenario}")
+
     baseline = run_into(build_campaign(queue_depth=64), RUNS_DIR / "baseline")
     candidate = run_into(build_campaign(queue_depth=2), RUNS_DIR / "candidate")
 

@@ -42,6 +42,7 @@ from repro.lint.cli import add_lint_parser
 from repro.sim.units import MICROSECOND, format_bytes
 from repro.storage.spec import TABLE1_SPECS
 from repro.runtime import (
+    RUNTIME_NAMES,
     CampaignSpec,
     ExperimentStore,
     MetricSpec,
@@ -370,27 +371,39 @@ class _CampaignProgress:
         self._last_print: Optional[float] = None
         self._ran = 0
         self._cached = 0
+        self._failed = 0
 
     def __call__(self, outcome: Any, done: int, total: int) -> None:
-        if outcome.cached:
+        if outcome.failed:
+            self._failed += 1
+        elif outcome.cached:
             self._cached += 1
-        else:
+        elif outcome.ok:
             self._ran += 1
         now = self._wall()
+        always_print = done >= total or outcome.failed
         if (
-            done < total
+            not always_print
             and self._last_print is not None
             and now - self._last_print < self._min_interval
         ):
             return
         self._last_print = now
         elapsed = now - self._started
-        origin = "store" if outcome.cached else "ran"
+        if outcome.cached:
+            origin = "store"
+        elif outcome.ok:
+            origin = "ran"
+        else:
+            origin = outcome.status
+
         line = (
             f"[{done}/{total}] {outcome.scenario} ({origin}) | "
-            f"{self._ran} ran, {self._cached} from store | "
-            f"{elapsed:.1f}s elapsed"
+            f"{self._ran} ran, {self._cached} from store"
         )
+        if self._failed:
+            line += f", {self._failed} failed"
+        line += f" | {elapsed:.1f}s elapsed"
         if done < total and self._ran:
             eta = elapsed / self._ran * (total - done)
             line += f" | eta {eta:.1f}s"
@@ -426,7 +439,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         store=store,
         progress=_CampaignProgress() if not args.quiet else None,
         chunksize=args.chunksize,
+        runtime=args.runtime,
+        retries=args.retries,
+        reuse_backends=not args.no_reuse,
     )
+    succeeded = [outcome for outcome in outcomes if outcome.ok]
+    quarantined = [outcome for outcome in outcomes if outcome.failed]
+    planned = [outcome for outcome in outcomes if outcome.skipped]
     if args.json:
         print(
             json.dumps(
@@ -436,22 +455,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                         "spec_hash": outcome.spec_hash,
                         "coords": [list(pair) for pair in outcome.labels],
                         "cached": outcome.cached,
-                        "result": outcome.metrics,
+                        "status": outcome.status,
+                        "attempts": outcome.attempts,
+                        "error": outcome.error,
+                        "error_type": outcome.error_type,
+                        "result": outcome.metrics if outcome.ok else None,
                     }
                     for outcome in outcomes
                 ],
                 indent=2,
             )
         )
+    elif planned and not succeeded and not quarantined:
+        # Dry run: show the plan instead of an (empty) metrics table.
+        print(f"campaign: {campaign.name} — dry run, {len(planned)} point(s) planned")
+        for outcome in planned:
+            coords = ", ".join(f"{key}={value}" for key, value in outcome.labels)
+            print(f"  [{outcome.index}] {outcome.scenario} ({coords})")
     else:
-        print(campaign_table(outcomes, metrics, title=f"campaign: {campaign.name}"))
-        if store is not None:
-            executed = sum(1 for outcome in outcomes if not outcome.cached)
+        if succeeded:
             print(
-                f"{executed} point(s) executed, {len(outcomes) - executed} from "
+                campaign_table(succeeded, metrics, title=f"campaign: {campaign.name}")
+            )
+        if store is not None:
+            executed = sum(1 for outcome in succeeded if not outcome.cached)
+            print(
+                f"{executed} point(s) executed, {len(succeeded) - executed} from "
                 f"{store.root}",
                 file=sys.stderr,
             )
+    if quarantined:
+        print(
+            f"{len(quarantined)} point(s) quarantined after failure:", file=sys.stderr
+        )
+        for outcome in quarantined:
+            print(
+                f"  [{outcome.index}] {outcome.scenario}: "
+                f"{outcome.error_type}: {outcome.error} "
+                f"({outcome.attempts} attempt(s))",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -608,7 +652,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=1, help="worker processes for fresh points"
     )
     campaign_parser.add_argument(
-        "--chunksize", type=int, default=1, help="points per process-pool task"
+        "--runtime",
+        choices=list(RUNTIME_NAMES),
+        default=None,
+        help=(
+            "execution engine: serial, pool (work-stealing process pool), or "
+            "dry (plan without executing); default picks pool when "
+            "--parallel > 1"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per failing point before quarantining it",
+    )
+    campaign_parser.add_argument(
+        "--no-reuse",
+        action="store_true",
+        help="build a fresh backend per point instead of reusing worker-resident ones",
+    )
+    campaign_parser.add_argument(
+        "--chunksize",
+        type=int,
+        default=1,
+        help="(deprecated, ignored) points per process-pool task",
     )
     campaign_parser.add_argument(
         "--replicates", type=int, default=1, help="seed replicates per grid point"

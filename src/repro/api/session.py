@@ -63,6 +63,28 @@ class Session:
     def from_dict(cls, data, compute: Optional[ComputeSpec] = None) -> "Session":
         return cls(ScenarioSpec.from_dict(data), compute=compute)
 
+    def adopt_backend(self, model: DLRMModel, backend: EmbeddingBackend) -> None:
+        """Serve through an already-built ``(model, backend)`` pair.
+
+        The campaign runtimes (:mod:`repro.runtime.runtimes`) keep one built
+        backend per :meth:`ScenarioSpec.backend_hash` resident in each worker
+        process; adopting it skips model construction and backend build — the
+        dominant cost of small-scenario grid points.  The caller owns the
+        reuse contract: the pair must have been built from a spec whose
+        ``model``/``backend`` sections equal this session's, and the backend
+        must be restored to its as-constructed state
+        (``backend.restore_pristine()``) before every adopting run, or
+        results will not be bit-identical to a fresh build.  Only valid
+        before the first :meth:`run` touches the lazy parts.
+        """
+        if self._model is not None or self._backend is not None:
+            raise RuntimeError(
+                "adopt_backend must be called before the session builds its "
+                "own model/backend"
+            )
+        self._model = model
+        self._backend = backend
+
     # ------------------------------------------------------------ lazy parts
     @property
     def model(self) -> DLRMModel:
@@ -236,6 +258,15 @@ class Session:
                 name=self.spec.name, base=self.spec, axes=((param, tuple(values)),)
             )
             outcomes = run_campaign(campaign, parallel=parallel)
+            failed = [outcome for outcome in outcomes if outcome.result is None]
+            if failed:
+                # sweep's contract is all-or-nothing; campaign quarantine is
+                # for long grids, not three-line sweeps.
+                first = failed[0]
+                raise RuntimeError(
+                    f"sweep point {param}={dict(first.coords).get(param)!r} failed: "
+                    f"{first.error_type}: {first.error}"
+                )
             return [
                 SweepPoint(
                     param=param,

@@ -440,6 +440,11 @@ class ScenarioSpec:
         return cls(**kwargs)
 
     # --------------------------------------------------------------- hashing
+    @staticmethod
+    def _canonical_encode(payload: Any) -> str:
+        """Byte-stable JSON: sorted keys, fixed separators, ``str`` fallback."""
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
     def canonical_json(self) -> str:
         """A byte-stable JSON encoding of :meth:`to_dict`.
 
@@ -449,9 +454,7 @@ class ScenarioSpec:
         not ``str`` subclasses, paths, …) fall back to ``str(value)``, which
         matches how they re-enter the spec from a JSON config file.
         """
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":"), default=str
-        )
+        return self._canonical_encode(self.to_dict())
 
     def spec_hash(self) -> str:
         """Content-address of this spec: SHA-256 of :meth:`canonical_json`.
@@ -460,6 +463,24 @@ class ScenarioSpec:
         by this hash, so its stability across processes is load-bearing.
         """
         return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def backend_hash(self) -> str:
+        """Content-address of the *built* serving stack this spec implies.
+
+        Covers exactly the sections :class:`~repro.api.session.Session`
+        consumes when materialising the model and backend — ``model`` and
+        ``backend`` (the latter includes the tier hierarchy, which lives in
+        ``backend.options.tiers``).  Workload, traffic, serving and telemetry
+        only shape *how* the built stack is driven, so two points of a
+        campaign that differ only along those axes share a ``backend_hash``
+        and can reuse one worker-resident backend (see
+        :mod:`repro.runtime.runtimes`) instead of rebuilding it.
+        """
+        data = self.to_dict()
+        payload = {section: data[section] for section in ("model", "backend")}
+        return hashlib.sha256(
+            self._canonical_encode(payload).encode("utf-8")
+        ).hexdigest()
 
     # -------------------------------------------------------------- override
     def replace(self, path: str, value: Any) -> "ScenarioSpec":

@@ -547,6 +547,24 @@ class SoftwareDefinedMemory(EmbeddingBackend):
         if self.pooled_cache is not None:
             self.pooled_cache.clear()
 
+    def restore_pristine(self) -> None:
+        """Return the built backend to its exactly-as-constructed state.
+
+        This is the worker-resident reuse contract (:mod:`repro.runtime.runtimes`):
+        after ``restore_pristine()`` a run over the backend must be
+        bit-identical to a run over a freshly built one.  Construction-time
+        products (placement, tier chain, materialised device blocks,
+        SM tables) are pure functions of the model and config and are kept;
+        everything a run accumulates — cached rows and pages, counters,
+        outstanding-IO queue state, advanced RNG streams, an attached trace
+        recorder — is dropped or rewound.
+        """
+        self.clear_caches()
+        self.reset_stats()
+        self.reset_queues()
+        self.chain.reset_rng()
+        self.set_trace_recorder(NULL_RECORDER)
+
     # --------------------------------------------------------------- serving
     def pooled_embeddings(
         self,

@@ -150,6 +150,11 @@ class InMemoryBackend(EmbeddingBackend):
         self.tables = dict(tables)
         self.compute = compute
 
+    def restore_pristine(self) -> None:
+        """Backend-reuse contract (:mod:`repro.runtime.runtimes`): serving
+        never mutates this backend, so a reused instance is already pristine."""
+        return None
+
     def pooled_embeddings(
         self,
         requests: Mapping[str, Sequence[int]],

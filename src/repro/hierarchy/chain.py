@@ -464,3 +464,8 @@ class TierChain:
         """Clear every tier's behavioural queue state; counters untouched."""
         for tier in self.tiers:
             tier.reset_queues()
+
+    def reset_rng(self) -> None:
+        """Rewind every tier's random streams to their as-constructed state."""
+        for tier in self.tiers:
+            tier.reset_rng()

@@ -447,6 +447,11 @@ class MemoryTier(abc.ABC):
         """
         return None
 
+    def reset_rng(self) -> None:
+        """Rewind any tier-owned random streams to their as-constructed
+        state (backend reuse); a no-op for tiers without randomness."""
+        return None
+
     def fm_footprint_bytes(self) -> int:
         """Fast-memory bytes this tier consumes beyond homed data."""
         return 0
@@ -738,9 +743,18 @@ class DeviceTier(MemoryTier):
             merged.merge(device.stats)
         return merged
 
+    def clear_cache(self) -> None:
+        super().clear_cache()
+        # The access path may hold its own fast-memory-resident cache (the
+        # mmap page cache, with per-page fault completion times): dropping
+        # cached rows without dropping mapped pages would leave a "cold"
+        # tier that still serves page hits.
+        self.access_path.clear_cache()
+
     def reset_stats(self) -> None:
         super().reset_stats()
         self.io_engine.reset_stats()
+        self.access_path.reset_stats()
         for device in self.devices:
             device.reset_stats()
 
@@ -748,6 +762,10 @@ class DeviceTier(MemoryTier):
         self.io_engine.reset_queues()
         for device in self.devices:
             device.reset_queues()
+
+    def reset_rng(self) -> None:
+        for device in self.devices:
+            device.reset_rng()
 
 
 #: Promotion policies for rows read from slower tiers (see TierChain).

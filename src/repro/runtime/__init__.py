@@ -7,12 +7,15 @@ simulation):
 * :class:`CampaignSpec` (:mod:`repro.runtime.campaign`) — a base
   :class:`~repro.api.spec.ScenarioSpec` crossed with a grid of dotted-path
   parameter axes, expanded into deterministic, individually-specified points.
-* :func:`run_campaign` (:mod:`repro.runtime.executor`) — executes the points,
-  optionally on a process pool, streaming progress and memoising through the
-  store.
+* :func:`run_campaign` (:mod:`repro.runtime.executor`) — executes the points
+  through a pluggable :class:`Runtime`, streaming progress and memoising
+  through the store.
+* :mod:`repro.runtime.runtimes` — the execution engines: serial, a
+  work-stealing local process pool with per-point retry/quarantine and
+  worker-resident backend reuse, and a dry-run planner.
 * :class:`ExperimentStore` (:mod:`repro.runtime.store`) — append-only JSONL
-  results keyed by canonical spec hash; interrupted campaigns resume, repeated
-  campaigns are near-free.
+  results keyed by canonical spec hash, optionally sharded per worker;
+  interrupted campaigns resume, repeated campaigns are near-free.
 * :func:`compare_runs` (:mod:`repro.runtime.compare`) — per-metric regression
   diff of two stored runs.
 
@@ -36,6 +39,17 @@ from repro.runtime.compare import (
     compare_runs,
 )
 from repro.runtime.executor import PointOutcome, run_campaign
+from repro.runtime.runtimes import (
+    RUNTIME_NAMES,
+    DryRunRuntime,
+    LocalPoolRuntime,
+    PointCompletion,
+    Runtime,
+    RuntimeConfig,
+    SerialRuntime,
+    estimated_cost,
+    resolve_runtime,
+)
 from repro.runtime.store import ExperimentStore
 
 __all__ = [
@@ -47,6 +61,15 @@ __all__ = [
     "point_name",
     "PointOutcome",
     "run_campaign",
+    "Runtime",
+    "RuntimeConfig",
+    "RUNTIME_NAMES",
+    "SerialRuntime",
+    "LocalPoolRuntime",
+    "DryRunRuntime",
+    "PointCompletion",
+    "estimated_cost",
+    "resolve_runtime",
     "ExperimentStore",
     "MetricSpec",
     "MetricDelta",

@@ -1,47 +1,62 @@
-"""Run a campaign's points — in parallel, memoised through the store.
+"""Run a campaign's points — through a pluggable runtime, memoised by store.
 
 The executor is the scheduling layer between a :class:`CampaignSpec` and the
 simulation core.  Each point travels as plain data: its spec serialises via
-``ScenarioSpec.to_dict`` into the worker process, runs under a fresh
+``ScenarioSpec.to_dict`` into the worker process, runs under a
 :class:`~repro.api.session.Session` there, and comes back as the result's
 ``to_dict`` — no simulator state ever crosses a process boundary, which is
-what makes ``parallel=N`` bit-identical to the serial run (every point is a
-pure function of its own spec).
+what makes every runtime bit-identical to the serial run (each point is a
+pure function of its own spec; worker-resident backend reuse restores a
+cached backend to its as-constructed state before every run).
 
-Points whose spec hash already sits in the :class:`ExperimentStore` are
-served from disk without executing anything; fresh results are appended to
-the store the moment they arrive, so an interrupted campaign resumes where it
-stopped.  If the host cannot fork worker processes (restricted sandboxes),
-the executor degrades to the serial path with a warning instead of failing.
+*How* pending points execute is delegated to a
+:class:`~repro.runtime.runtimes.Runtime` (serial, work-stealing local pool,
+dry run); the executor owns what surrounds execution: serving already-stored
+points from the :class:`ExperimentStore` without running anything, persisting
+fresh results the moment they complete (so an interrupted campaign resumes
+where it stopped), driving the progress callback in completion order, and
+assembling :class:`PointOutcome` rows — including structured failure outcomes
+for points the runtime quarantined, which are *not* persisted and therefore
+retry on resume.
 """
 
 from __future__ import annotations
 
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.results import ScenarioResult
-from repro.api.session import Session
 from repro.api.spec import ScenarioSpec
 from repro.runtime.campaign import CampaignPoint, CampaignSpec
+from repro.runtime.runtimes import (
+    PointCompletion,
+    Runtime,
+    RuntimeConfig,
+    resolve_runtime,
+)
 from repro.runtime.store import ExperimentStore
 
 #: ``progress(outcome, done, total)`` — called once per point: store-served
-#: points first (in point order), then executed points in point order as
-#: their results arrive.
+#: points first (in point order), then the runtime's completions in the order
+#: they finish (point order for the serial runtime, completion order for the
+#: work-stealing pool).
 ProgressCallback = Callable[["PointOutcome", int, int], None]
 
 
 @dataclass(frozen=True)
 class PointOutcome:
-    """One campaign point's result, whether freshly executed or store-served.
+    """One campaign point's terminal state: result, failure, or skip.
 
     ``coords`` carry the raw axis values; ``labels`` the expansion's
     disambiguated display labels (what point names and stored coordinates
-    use).
+    use).  Exactly one of three shapes:
+
+    * ``ok`` — ``result`` is set (freshly executed, or ``cached`` from the
+      store);
+    * ``failed`` — the runtime quarantined the point after ``attempts``
+      tries; ``error``/``error_type`` describe the last exception;
+    * ``skipped`` — a dry run planned the point without executing it.
     """
 
     index: int
@@ -49,23 +64,43 @@ class PointOutcome:
     labels: Tuple[Tuple[str, Any], ...]
     spec_hash: str
     scenario: str
-    result: ScenarioResult
+    result: Optional[ScenarioResult]
     cached: bool
+    attempts: int = 1
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    executed: bool = field(default=True)
 
     @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def skipped(self) -> bool:
+        return not self.executed and self.result is None and self.error is None
+
+    @property
+    def status(self) -> str:
+        if self.ok:
+            return "cached" if self.cached else "ok"
+        return "failed" if self.failed else "skipped"
+
+    @functools.cached_property
     def metrics(self) -> Dict[str, Any]:
-        """The result as the JSON-able dict that travels and is stored."""
+        """The result as the JSON-able dict that travels and is stored.
+
+        Cached: the conversion walks every latency sample, and callers (the
+        CLI table, comparisons) read it repeatedly per outcome.
+        """
+        if self.result is None:
+            raise ValueError(
+                f"point {self.index} ({self.scenario}) has no result: {self.status}"
+            )
         return self.result.to_dict()
-
-
-def _execute_point(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: rebuild the spec, run it, return the result dict.
-
-    Top-level (hence picklable) and dict-in/dict-out by design: this exact
-    function body runs for both the serial path and the pool workers.
-    """
-    spec = ScenarioSpec.from_dict(spec_dict)
-    return Session(spec).run().to_dict()
 
 
 def _outcome(
@@ -82,6 +117,46 @@ def _outcome(
     )
 
 
+def _completion_outcome(completion: PointCompletion) -> PointOutcome:
+    point = completion.point
+    if completion.result is not None:
+        return PointOutcome(
+            index=point.index,
+            coords=point.coords,
+            labels=point.labels(),
+            spec_hash=point.spec_hash(),
+            scenario=point.spec.name,
+            result=ScenarioResult.from_dict(completion.result),
+            cached=False,
+            attempts=completion.attempts,
+        )
+    return PointOutcome(
+        index=point.index,
+        coords=point.coords,
+        labels=point.labels(),
+        spec_hash=point.spec_hash(),
+        scenario=point.spec.name,
+        result=None,
+        cached=False,
+        attempts=completion.attempts,
+        error=completion.error,
+        error_type=completion.error_type,
+        executed=completion.executed,
+    )
+
+
+def _execute_point(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Back-compat worker shim: rebuild the spec, run it fresh, return dict.
+
+    The real worker entry point is :func:`repro.runtime.runtimes.run_point`;
+    this remains for callers (and tests) that monkeypatch the executor's
+    single-point path.
+    """
+    from repro.runtime.runtimes import run_point
+
+    return run_point(spec_dict, reuse=False)
+
+
 def run_campaign(
     campaign: CampaignSpec,
     *,
@@ -89,18 +164,34 @@ def run_campaign(
     store: Optional[ExperimentStore] = None,
     progress: Optional[ProgressCallback] = None,
     chunksize: int = 1,
+    runtime: Union[str, Runtime, None] = None,
+    retries: int = 0,
+    reuse_backends: bool = True,
 ) -> List[PointOutcome]:
     """Execute every point of ``campaign``; return outcomes in point order.
 
-    ``parallel`` > 1 runs fresh points on a :class:`ProcessPoolExecutor`
-    (``chunksize`` specs per task); 1 runs them inline.  When ``store`` is
-    given, points already present are served from it and new results are
-    persisted as they complete.
+    ``runtime`` selects the execution engine: ``"serial"``, ``"pool"``
+    (work-stealing process pool), ``"dry"`` (plan only), a
+    :class:`~repro.runtime.runtimes.Runtime` instance, or ``None`` for the
+    legacy contract (``parallel > 1`` → pool, else serial).  ``retries``
+    re-runs a failing point that many extra times before quarantining it as
+    a failed outcome — a failure never aborts its siblings, and only
+    successful results are persisted, so quarantined points retry on resume.
+    ``reuse_backends`` lets workers keep built backends resident across
+    points that share a ``backend_hash`` (bit-identical by contract; disable
+    to force a fresh build per point).  When ``store`` is given, points
+    already present are served from it, pool workers append fresh results
+    directly to per-worker store shards, and serial/dry paths persist
+    through the driver.  ``chunksize`` is accepted for backwards
+    compatibility and ignored: work-stealing dispatch is per-point.
     """
     if parallel < 1:
         raise ValueError(f"parallel must be positive: {parallel}")
     if chunksize < 1:
         raise ValueError(f"chunksize must be positive: {chunksize}")
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative: {retries}")
+    engine = resolve_runtime(runtime, parallel)
     points = campaign.points()
     total = len(points)
     outcomes: List[Optional[PointOutcome]] = [None] * total
@@ -121,56 +212,33 @@ def run_campaign(
         else:
             pending.append(point)
 
-    def run_serially(remaining: List[CampaignPoint]) -> None:
-        for point in remaining:
-            result_dict = _execute_point(point.spec.to_dict())
-            if store is not None:
-                store.put(
-                    point.spec, result_dict, index=point.index, coords=point.labels()
-                )
-            finish(point, _outcome(point, result_dict, cached=False))
-
-    if pending and parallel > 1 and len(pending) > 1:
-        pool_error: Optional[BaseException] = None
-        try:
-            pool = ProcessPoolExecutor(max_workers=min(parallel, len(pending)))
-        except (OSError, PermissionError) as error:
-            pool_error = error
-        else:
-            with pool:
-                results = pool.map(
-                    _execute_point,
-                    [point.spec.to_dict() for point in pending],
-                    chunksize=chunksize,
-                )
-                results_iter = iter(results)
-                for point in pending:
-                    # Only the pull from the pool is fallback-eligible; store
-                    # writes and progress callbacks raise as themselves.
-                    try:
-                        result_dict = next(results_iter)
-                    except (BrokenProcessPool, OSError, PermissionError) as error:
-                        pool_error = error
-                        break
-                    if store is not None:
-                        store.put(
-                            point.spec,
-                            result_dict,
-                            index=point.index,
-                            coords=point.labels(),
-                        )
-                    finish(point, _outcome(point, result_dict, cached=False))
-        if pool_error is not None:
-            # Sandboxes that forbid fork land here; everything already
-            # persisted stays persisted, the remainder runs inline.
-            warnings.warn(
-                f"process pool unavailable ({pool_error!r}); "
-                f"falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            run_serially([point for point in pending if outcomes[point.index] is None])
-    elif pending:
-        run_serially(pending)
+    config = RuntimeConfig(
+        retries=retries,
+        reuse_backends=reuse_backends,
+        store_root=(
+            str(store.root) if store is not None and engine.name == "pool" else None
+        ),
+    )
+    if pending:
+        for completion in engine.execute(pending, config):
+            point = completion.point
+            if store is not None and completion.result is not None:
+                if completion.persisted:
+                    # The worker already appended to its shard; just adopt the
+                    # record into this store's in-memory view.
+                    store.register(
+                        point.spec,
+                        completion.result,
+                        index=point.index,
+                        coords=point.labels(),
+                    )
+                else:
+                    store.put(
+                        point.spec,
+                        completion.result,
+                        index=point.index,
+                        coords=point.labels(),
+                    )
+            finish(point, _completion_outcome(completion))
 
     return [outcome for outcome in outcomes if outcome is not None]

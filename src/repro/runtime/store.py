@@ -3,16 +3,26 @@
 A store is one run directory::
 
     <root>/
-        campaign.json    # CampaignSpec.to_dict() of the campaign that ran here
-        results.jsonl    # one JSON record per completed point, append-only
+        campaign.json         # CampaignSpec.to_dict() of the campaign that ran here
+        results.jsonl         # records appended by the campaign driver itself
+        results-<shard>.jsonl # records appended directly by pool workers
 
 Records are keyed by :meth:`ScenarioSpec.spec_hash`, which is a pure function
 of the point's canonical spec JSON — so "this exact experiment already ran"
-is a dictionary lookup.  The executor appends each record the moment the
-point finishes (flushed immediately), which is what makes interrupted
-campaigns resumable: a re-run against the same store serves every completed
-point from disk and only executes the remainder.  A half-written trailing
-line from a killed process is skipped on load rather than poisoning the run.
+is a dictionary lookup.  Writers append each record the moment the point
+finishes (flushed immediately), which is what makes interrupted campaigns
+resumable: a re-run against the same store serves every completed point from
+disk and only executes the remainder.  A half-written trailing line from a
+killed process is skipped on load rather than poisoning the run.
+
+Sharding exists so parallel runtimes never funnel persistence through the
+parent process: each pool worker owns ``results-w<pid>.jsonl`` and appends to
+it with no cross-process locking (JSONL appends of < PIPE_BUF bytes are
+atomic per POSIX, and distinct shards never contend anyway).  Readers merge
+the main file plus every shard in deterministic (name-sorted) order with
+last-record-wins per spec hash, so a single-file store written by an older
+run stays readable unchanged and mixed stores (serial resume after a
+parallel run, or vice versa) just work.
 """
 
 from __future__ import annotations
@@ -20,12 +30,14 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.api.spec import ScenarioSpec
 
 CAMPAIGN_FILE = "campaign.json"
 RESULTS_FILE = "results.jsonl"
+SHARD_PREFIX = "results-"
+SHARD_GLOB = "results-*.jsonl"
 
 
 class ExperimentStore:
@@ -44,16 +56,39 @@ class ExperimentStore:
     def campaign_path(self) -> Path:
         return self.root / CAMPAIGN_FILE
 
+    def shard_path(self, shard: str) -> Path:
+        """Path of one worker shard, e.g. ``shard_path("w123")``."""
+        if not shard or "/" in shard or shard != Path(shard).name:
+            raise ValueError(f"invalid shard name: {shard!r}")
+        return self.root / f"{SHARD_PREFIX}{shard}.jsonl"
+
+    def shard_paths(self) -> List[Path]:
+        """Existing worker shards, in deterministic (name-sorted) order."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(SHARD_GLOB))
+
+    def result_paths(self) -> List[Path]:
+        """Every results file that exists: the main file first, then shards."""
+        paths = [self.results_path] if self.results_path.exists() else []
+        paths.extend(self.shard_paths())
+        return paths
+
     def exists(self) -> bool:
-        return self.results_path.exists()
+        return bool(self.result_paths())
 
     # ---------------------------------------------------------------- loading
     def records(self) -> Dict[str, Dict[str, Any]]:
-        """All stored records, keyed by spec hash (cached after first load)."""
+        """All stored records, keyed by spec hash (cached after first load).
+
+        Shards merge after the main file, in name-sorted order, with
+        last-record-wins per spec hash — the same answer regardless of which
+        process happened to append a given point.
+        """
         if self._records is None:
             self._records = {}
-            if self.results_path.exists():
-                with open(self.results_path, encoding="utf-8") as handle:
+            for path in self.result_paths():
+                with open(path, encoding="utf-8") as handle:
                     for line in handle:
                         line = line.strip()
                         if not line:
@@ -85,20 +120,15 @@ class ExperimentStore:
         return self.get(spec.spec_hash())
 
     # ---------------------------------------------------------------- writing
-    def put(
-        self,
+    @staticmethod
+    def _record(
         spec: ScenarioSpec,
         result: Mapping[str, Any],
         *,
-        index: Optional[int] = None,
-        coords: Any = None,
+        index: Optional[int],
+        coords: Any,
     ) -> Dict[str, Any]:
-        """Append one completed point and return the stored record.
-
-        The record is durable the moment this returns (written, flushed and
-        fsynced), so a campaign killed between points loses nothing.
-        """
-        record: Dict[str, Any] = {
+        return {
             "spec_hash": spec.spec_hash(),
             "scenario": spec.name,
             "index": index,
@@ -106,11 +136,48 @@ class ExperimentStore:
             "spec": spec.to_dict(),
             "result": dict(result),
         }
+
+    def put(
+        self,
+        spec: ScenarioSpec,
+        result: Mapping[str, Any],
+        *,
+        index: Optional[int] = None,
+        coords: Any = None,
+        shard: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Append one completed point and return the stored record.
+
+        The record is durable the moment this returns (written, flushed and
+        fsynced), so a campaign killed between points loses nothing.  With
+        ``shard`` the record lands in that worker's ``results-<shard>.jsonl``
+        instead of the main file.
+        """
+        record = self._record(spec, result, index=index, coords=coords)
+        path = self.shard_path(shard) if shard is not None else self.results_path
         self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.results_path, "a", encoding="utf-8") as handle:
+        with open(path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        self.records()[record["spec_hash"]] = record
+        return record
+
+    def register(
+        self,
+        spec: ScenarioSpec,
+        result: Mapping[str, Any],
+        *,
+        index: Optional[int] = None,
+        coords: Any = None,
+    ) -> Dict[str, Any]:
+        """Adopt a record another process already persisted to its shard.
+
+        Updates only this store's in-memory view (no disk write), so the
+        driver can serve the point from ``records()`` in the same run without
+        re-reading the worker's shard file.
+        """
+        record = self._record(spec, result, index=index, coords=coords)
         self.records()[record["spec_hash"]] = record
         return record
 

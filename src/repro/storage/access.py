@@ -70,6 +70,15 @@ class AccessPath(abc.ABC):
     def fm_footprint_bytes(self) -> int:
         """Fast-memory bytes this access path consumes beyond the row cache."""
 
+    def clear_cache(self) -> None:
+        """Drop any access-path-resident cached state (page cache); no-op
+        for paths that hold none."""
+        return None
+
+    def reset_stats(self) -> None:
+        """Zero any access-path counters; no-op for paths that keep none."""
+        return None
+
 
 class DirectIOReader(AccessPath):
     """O_DIRECT row reads through the io_uring engine.
@@ -239,3 +248,11 @@ class MmapReader(AccessPath):
 
     def fm_footprint_bytes(self) -> int:
         return len(self._page_cache) * BLOCK_SIZE
+
+    def clear_cache(self) -> None:
+        """Unmap every cached page (fault completion times included)."""
+        self._page_cache.clear()
+
+    def reset_stats(self) -> None:
+        self.page_faults = 0
+        self.page_hits = 0

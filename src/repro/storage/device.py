@@ -167,6 +167,7 @@ class SimulatedDevice:
         self._block_store: np.ndarray = np.zeros((1, BLOCK_SIZE), dtype=np.uint8)
         self._num_slots = 1
         self.channel_free: np.ndarray = np.zeros(spec.internal_parallelism, dtype=float)
+        self._seed = seed
         self.rng = make_rng(seed, "device", spec.name)
         self._num_blocks = spec.capacity_bytes // BLOCK_SIZE
 
@@ -348,6 +349,16 @@ class SimulatedDevice:
     def reset_queues(self) -> None:
         """Free every internal channel (behavioural state); stats untouched."""
         self.channel_free[:] = 0.0
+
+    def reset_rng(self) -> None:
+        """Rewind the tail-latency stream to its as-constructed state.
+
+        Backend reuse (:mod:`repro.runtime.runtimes`) replays fresh runs on an
+        already-built device; without rewinding, the second run would draw
+        from wherever the first left the PCG64 stream and tail events would
+        land on different IOs.
+        """
+        self.rng = make_rng(self._seed, "device", self.spec.name)
 
     def __repr__(self) -> str:
         return f"SimulatedDevice({self.spec.name!r}, {self.spec.capacity_bytes} B)"

@@ -96,6 +96,60 @@ class TestCampaignCLI:
         parallel = run_json(capsys, argv + ["--parallel", "2"])
         assert [p["result"] for p in serial] == [p["result"] for p in parallel]
 
+    def test_no_reuse_flag_produces_identical_results(self, capsys):
+        argv = ["campaign", *BASE_ARGS, "--grid", "workload.num_users=40,60",
+                "--quiet", "--json"]
+        reused = run_json(capsys, argv)
+        fresh = run_json(capsys, argv + ["--no-reuse"])
+        assert [p["result"] for p in reused] == [p["result"] for p in fresh]
+
+    def test_dry_runtime_plans_without_executing(self, capsys, tmp_path):
+        assert cli_main(
+            ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1,2",
+             "--runtime", "dry", "--out", str(tmp_path / "run"), "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dry run, 2 point(s) planned" in out
+        assert "serving.concurrency=1" in out and "serving.concurrency=2" in out
+        # Nothing executed, nothing persisted (only the campaign metadata).
+        assert not list((tmp_path / "run").glob("results*.jsonl"))
+
+    def test_quarantined_point_fails_the_exit_code(self, capsys, tmp_path):
+        """A raising point is reported and quarantined; siblings persist."""
+        assert cli_main(
+            ["campaign", *BASE_ARGS,
+             "--grid", "backend.options.row_cache_capacity_bytes=4096,bogus",
+             "--out", str(tmp_path / "run"), "--quiet"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "1 point(s) quarantined" in captured.err
+        assert "TypeError" in captured.err
+        # The good sibling's row still rendered and persisted.
+        assert "4096" in captured.out
+        lines = (tmp_path / "run" / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_quarantine_in_json_mode_reports_status_and_error(self, capsys):
+        payload = run_json(
+            capsys,
+            ["campaign", *BASE_ARGS,
+             "--grid", "backend.options.row_cache_capacity_bytes=4096,bogus",
+             "--quiet", "--json"],
+            expect=1,
+        )
+        assert [point["status"] for point in payload] == ["ok", "failed"]
+        assert payload[0]["result"]["achieved_qps"] > 0
+        assert payload[1]["result"] is None
+        assert payload[1]["error_type"] == "TypeError"
+
+    def test_retries_flag_is_threaded_through(self, capsys):
+        payload = run_json(
+            capsys,
+            ["campaign", *BASE_ARGS, "--grid", "serving.concurrency=1",
+             "--retries", "2", "--runtime", "serial", "--quiet", "--json"],
+        )
+        assert [point["attempts"] for point in payload] == [1]
+
 
 class TestCompareCLI:
     def _populate(self, capsys, out_dir):

@@ -1,10 +1,20 @@
-"""Executor determinism (serial == parallel) and store-backed resume."""
+"""Executor determinism (serial == pool == reuse), quarantine, store resume."""
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
 from repro import CampaignSpec, ExperimentStore, ScenarioSpec, Session, run_campaign
 from repro.api import ModelChoice, ServingChoice, WorkloadChoice
-from repro.runtime import executor as executor_module
+from repro.runtime import runtimes as runtimes_module
+from repro.runtime.runtimes import (
+    DryRunRuntime,
+    LocalPoolRuntime,
+    SerialRuntime,
+    estimated_cost,
+    resolve_runtime,
+)
 
 
 def small_base() -> ScenarioSpec:
@@ -24,6 +34,15 @@ def two_axis_campaign() -> CampaignSpec:
     )
 
 
+def failing_campaign() -> CampaignSpec:
+    """One good point, one whose backend option explodes at build time."""
+    return CampaignSpec.from_grid(
+        small_base(),
+        {"backend.options.row_cache_capacity_bytes": [4096, "bogus"]},
+        name="exec",
+    )
+
+
 class TestDeterminism:
     def test_parallel_matches_serial_point_for_point(self):
         """Acceptance: parallel=4 metrics are identical to the serial run."""
@@ -36,6 +55,29 @@ class TestDeterminism:
             assert s.coords == p.coords
             assert s.spec_hash == p.spec_hash
             assert s.metrics == p.metrics  # full result dict, bit-for-bit
+
+    def test_runtime_parity_matrix(self):
+        """Acceptance: serial / pool x reuse-on / reuse-off are bit-identical.
+
+        The grid spans workload AND backend axes, so reuse both hits (points
+        sharing a backend_hash) and misses (distinct backends) — and the
+        oracle is the no-reuse serial run.
+        """
+        campaign = CampaignSpec.from_grid(
+            small_base(),
+            {"backend.name": ["dram", "sdm"], "workload.num_users": [40, 60]},
+            name="exec",
+        )
+        oracle = run_campaign(campaign, runtime="serial", reuse_backends=False)
+        variants = {
+            "serial+reuse": run_campaign(campaign, runtime="serial"),
+            "pool+reuse": run_campaign(campaign, parallel=2, runtime="pool"),
+            "pool-no-reuse": run_campaign(
+                campaign, parallel=2, runtime="pool", reuse_backends=False
+            ),
+        }
+        for name, outcomes in variants.items():
+            assert [o.metrics for o in outcomes] == [o.metrics for o in oracle], name
 
     def test_chunked_parallel_matches_too(self):
         campaign = two_axis_campaign()
@@ -62,6 +104,195 @@ class TestDeterminism:
             session.sweep("serving.concurrency", [1, 2], parallel=2)
 
 
+class TestBackendReuse:
+    def test_second_run_hits_the_resident_cache(self):
+        runtimes_module.clear_backend_cache()
+        spec_dict = small_base().to_dict()
+        first = runtimes_module.run_point(spec_dict, reuse=True)
+        size, keys = runtimes_module.backend_cache_info()
+        assert size == 1
+        assert keys == (small_base().backend_hash(),)
+        second = runtimes_module.run_point(spec_dict, reuse=True)
+        assert runtimes_module.backend_cache_info()[0] == 1
+        assert first == second  # restored backend is bit-identical to fresh
+        runtimes_module.clear_backend_cache()
+
+    def test_reuse_off_never_populates_the_cache(self):
+        runtimes_module.clear_backend_cache()
+        runtimes_module.run_point(small_base().to_dict(), reuse=False)
+        assert runtimes_module.backend_cache_info() == (0, ())
+
+    def test_points_sharing_a_backend_hash_reuse_across_workloads(self):
+        """Workload/traffic/serving axes share one backend build per worker."""
+        base = small_base()
+        variant = base.replace("workload.num_users", 60)
+        assert base.backend_hash() == variant.backend_hash()
+        assert base.spec_hash() != variant.spec_hash()
+        runtimes_module.clear_backend_cache()
+        fresh = runtimes_module.run_point(variant.to_dict(), reuse=False)
+        runtimes_module.run_point(base.to_dict(), reuse=True)  # populate
+        reused = runtimes_module.run_point(variant.to_dict(), reuse=True)
+        assert runtimes_module.backend_cache_info()[0] == 1
+        assert reused == fresh
+        runtimes_module.clear_backend_cache()
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("runtime", ["serial", "pool"])
+    def test_failing_point_is_quarantined_and_siblings_complete(
+        self, tmp_path, runtime
+    ):
+        """Acceptance: a raising point becomes a failure outcome, its error is
+        recorded, and every sibling still completes and persists."""
+        store = ExperimentStore(tmp_path / "run")
+        outcomes = run_campaign(
+            failing_campaign(), store=store, runtime=runtime, parallel=2
+        )
+        assert [o.status for o in outcomes] == ["ok", "failed"]
+        good, bad = outcomes
+        assert good.ok and not good.failed
+        assert bad.failed and not bad.ok and bad.result is None
+        assert bad.error_type == "TypeError"
+        assert "str" in bad.error
+        assert bad.attempts == 1
+        # Only the successful sibling is persisted; the failure retries on
+        # resume instead of being served from the store.
+        assert len(store) == 1
+        assert store.get(good.spec_hash) is not None
+        assert store.get(bad.spec_hash) is None
+
+    def test_metrics_raises_on_a_failed_outcome(self):
+        outcomes = run_campaign(failing_campaign(), runtime="serial")
+        with pytest.raises(ValueError, match="has no result"):
+            outcomes[1].metrics
+
+    def test_resume_after_failure_reruns_only_the_failed_point(
+        self, tmp_path, monkeypatch
+    ):
+        store = ExperimentStore(tmp_path / "run")
+        run_campaign(failing_campaign(), store=store, runtime="serial")
+        assert len(store) == 1
+
+        executed = []
+        real_run_point = runtimes_module.run_point
+
+        def recording_run_point(spec_dict, **kwargs):
+            executed.append(spec_dict["backend"]["options"])
+            return real_run_point(spec_dict, **kwargs)
+
+        monkeypatch.setattr(runtimes_module, "run_point", recording_run_point)
+        second = run_campaign(
+            failing_campaign(), store=ExperimentStore(tmp_path / "run")
+        )
+        assert [o.status for o in second] == ["cached", "failed"]
+        assert executed == [{"row_cache_capacity_bytes": "bogus"}]
+
+    def test_retries_rerun_flaky_points_before_quarantining(self, monkeypatch):
+        campaign = two_axis_campaign()
+        real_run_point = runtimes_module.run_point
+        failures_left = {}
+
+        def flaky_run_point(spec_dict, **kwargs):
+            remaining = failures_left.setdefault(spec_dict["name"], 1)
+            if remaining:
+                failures_left[spec_dict["name"]] = remaining - 1
+                raise RuntimeError("transient")
+            return real_run_point(spec_dict, **kwargs)
+
+        monkeypatch.setattr(runtimes_module, "run_point", flaky_run_point)
+        outcomes = run_campaign(campaign, runtime="serial", retries=1)
+        assert [o.status for o in outcomes] == ["ok"] * 4
+        assert [o.attempts for o in outcomes] == [2] * 4
+        # Without retries the same flakiness quarantines every point.
+        failures_left.clear()
+        outcomes = run_campaign(campaign, runtime="serial")
+        assert [o.status for o in outcomes] == ["failed"] * 4
+
+
+class TestDryRun:
+    def test_dry_run_plans_without_executing(self, tmp_path, monkeypatch):
+        def boom(spec_dict, **kwargs):
+            raise AssertionError("dry run executed a point")
+
+        monkeypatch.setattr(runtimes_module, "run_point", boom)
+        store = ExperimentStore(tmp_path / "run")
+        outcomes = run_campaign(two_axis_campaign(), store=store, runtime="dry")
+        assert [o.status for o in outcomes] == ["skipped"] * 4
+        assert all(not o.executed and o.result is None and o.error is None
+                   for o in outcomes)
+        assert len(store) == 0
+        assert not store.result_paths()
+
+    def test_dry_run_still_serves_cached_points(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        prefix = CampaignSpec.from_grid(
+            small_base(), {"serving.concurrency": [1]}, name="exec"
+        )
+        run_campaign(prefix, store=store)
+        outcomes = run_campaign(
+            CampaignSpec.from_grid(
+                small_base(), {"serving.concurrency": [1, 2]}, name="exec"
+            ),
+            store=store,
+            runtime="dry",
+        )
+        assert [o.status for o in outcomes] == ["cached", "skipped"]
+
+
+class TestWorkStealing:
+    def test_dispatch_is_longest_expected_first(self, monkeypatch):
+        submitted = []
+
+        class RecordingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, spec_dict, **kwargs):
+                submitted.append(spec_dict["workload"]["num_queries"])
+                future = Future()
+                future.set_result(fn(spec_dict, **kwargs))
+                return future
+
+        monkeypatch.setattr(runtimes_module, "ProcessPoolExecutor", RecordingPool)
+        campaign = CampaignSpec.from_grid(
+            small_base(), {"workload.num_queries": [12, 48, 24]}, name="exec"
+        )
+        outcomes = run_campaign(campaign, parallel=2, runtime="pool")
+        assert submitted == [48, 24, 12]  # big points dispatch first
+        # ...but outcomes still come back in point order.
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert [o.status for o in outcomes] == ["ok"] * 3
+
+    def test_estimated_cost_scales_with_queries_and_batch(self):
+        base = small_base()
+        assert estimated_cost(base.replace("workload.num_queries", 48)) > (
+            estimated_cost(base)
+        )
+        assert estimated_cost(base.replace("workload.item_batch", 8)) > (
+            estimated_cost(base)
+        )
+
+    def test_pool_workers_persist_to_store_shards(self, tmp_path):
+        campaign = two_axis_campaign()
+        store = ExperimentStore(tmp_path / "run")
+        outcomes = run_campaign(campaign, parallel=2, store=store, runtime="pool")
+        assert [o.status for o in outcomes] == ["ok"] * 4
+        # Workers appended their own shards; the driver wrote nothing itself.
+        assert store.shard_paths()
+        assert not store.results_path.exists()
+        reopened = ExperimentStore(tmp_path / "run")
+        assert len(reopened) == 4
+        resumed = run_campaign(campaign, store=reopened)
+        assert all(o.cached for o in resumed)
+        assert [o.metrics for o in resumed] == [o.metrics for o in outcomes]
+
+
 class TestStoreResume:
     def test_completed_points_are_served_from_the_store(self, tmp_path, monkeypatch):
         """Acceptance: re-running against the store executes zero new points."""
@@ -72,10 +303,10 @@ class TestStoreResume:
         assert len(store) == 4
 
         # Any attempt to actually execute a point now is a test failure.
-        def boom(spec_dict):
+        def boom(spec_dict, **kwargs):
             raise AssertionError(f"point re-executed: {spec_dict['name']}")
 
-        monkeypatch.setattr(executor_module, "_execute_point", boom)
+        monkeypatch.setattr(runtimes_module, "run_point", boom)
         second = run_campaign(campaign, store=ExperimentStore(tmp_path / "run"))
         assert all(outcome.cached for outcome in second)
         assert [o.metrics for o in second] == [o.metrics for o in first]
@@ -122,6 +353,19 @@ class TestStoreResume:
             run_campaign(campaign, parallel=0)
         with pytest.raises(ValueError, match="chunksize"):
             run_campaign(campaign, chunksize=0)
+        with pytest.raises(ValueError, match="retries"):
+            run_campaign(campaign, retries=-1)
+        with pytest.raises(ValueError, match="unknown runtime"):
+            run_campaign(campaign, runtime="quantum")
+
+    def test_resolve_runtime_contract(self):
+        assert isinstance(resolve_runtime(None, 1), SerialRuntime)
+        assert isinstance(resolve_runtime(None, 4), LocalPoolRuntime)
+        assert resolve_runtime(None, 4).workers == 4
+        assert isinstance(resolve_runtime("serial", 4), SerialRuntime)
+        assert isinstance(resolve_runtime("dry", 1), DryRunRuntime)
+        engine = LocalPoolRuntime(workers=3)
+        assert resolve_runtime(engine, 1) is engine
 
     def test_pool_failure_falls_back_to_serial(self, monkeypatch, tmp_path):
         campaign = two_axis_campaign()
@@ -130,7 +374,7 @@ class TestStoreResume:
             def __init__(self, *args, **kwargs):
                 raise OSError("no fork for you")
 
-        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", BrokenPool)
+        monkeypatch.setattr(runtimes_module, "ProcessPoolExecutor", BrokenPool)
         store = ExperimentStore(tmp_path / "run")
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             outcomes = run_campaign(campaign, parallel=4, store=store)
@@ -139,3 +383,66 @@ class TestStoreResume:
         assert [o.metrics for o in outcomes] == [
             o.metrics for o in run_campaign(campaign, parallel=1)
         ]
+
+    def test_pool_break_mid_stream_preserves_completed_points(
+        self, monkeypatch, tmp_path
+    ):
+        """Acceptance: a pool dying mid-campaign keeps every already-persisted
+        point and re-runs only the remainder, serially."""
+        campaign = two_axis_campaign()
+
+        class MidStreamPool:
+            """First two submissions complete inline, then the pool 'dies'."""
+
+            def __init__(self, *args, **kwargs):
+                self.submissions = 0
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args, **kwargs):
+                future = Future()
+                future.test_order = self.submissions
+                if self.submissions < 2:
+                    future.set_result(fn(*args, **kwargs))
+                else:
+                    future.set_exception(BrokenProcessPool("pool died mid-stream"))
+                self.submissions += 1
+                return future
+
+        def ordered_wait(futures, return_when=None):
+            done = sorted(
+                (f for f in futures if f.done()), key=lambda f: f.test_order
+            )
+            return [done[0]], set(futures) - {done[0]}
+
+        executed_serially = []
+        real_run_point = runtimes_module.run_point
+
+        def tracking_run_point(spec_dict, **kwargs):
+            if kwargs.get("store_root") is None:
+                executed_serially.append(spec_dict["name"])
+            return real_run_point(spec_dict, **kwargs)
+
+        monkeypatch.setattr(runtimes_module, "ProcessPoolExecutor", MidStreamPool)
+        monkeypatch.setattr(runtimes_module, "wait", ordered_wait)
+        monkeypatch.setattr(runtimes_module, "run_point", tracking_run_point)
+
+        store = ExperimentStore(tmp_path / "run")
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            outcomes = run_campaign(campaign, parallel=2, store=store, runtime="pool")
+        points = campaign.points()
+        # Only the two points the pool never finished re-ran inline.
+        assert executed_serially == [points[2].spec.name, points[3].spec.name]
+        assert [o.status for o in outcomes] == ["ok"] * 4
+        assert len(store) == 4
+        # The pool-completed points live in a worker shard, the serial
+        # remainder in the driver's main file — and both merge on reload.
+        assert store.shard_paths()
+        assert store.results_path.exists()
+        assert len(ExperimentStore(tmp_path / "run")) == 4
+        oracle = run_campaign(campaign, parallel=1)
+        assert [o.metrics for o in outcomes] == [o.metrics for o in oracle]

@@ -88,3 +88,83 @@ class TestExperimentStore:
         meta = {"name": "c", "axes": [{"param": "x", "values": [1, 2]}]}
         store.write_campaign(meta)
         assert store.read_campaign() == meta
+
+
+class TestShardedStore:
+    def test_put_with_shard_writes_that_shard_only(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="sharded")
+        store.put(spec, result_dict(), shard="w7")
+        assert not store.results_path.exists()
+        assert store.shard_path("w7").exists()
+        assert [p.name for p in store.shard_paths()] == ["results-w7.jsonl"]
+        assert store.exists()
+
+    def test_shards_merge_with_the_main_file_on_read(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        main_spec = ScenarioSpec(name="from-main")
+        shard_a = ScenarioSpec(name="from-a")
+        shard_b = ScenarioSpec(name="from-b")
+        store.put(main_spec, result_dict(achieved_qps=1.0))
+        store.put(shard_a, result_dict(achieved_qps=2.0), shard="w1")
+        store.put(shard_b, result_dict(achieved_qps=3.0), shard="w2")
+        reopened = ExperimentStore(tmp_path / "run")
+        assert len(reopened) == 3
+        assert reopened.get_spec(main_spec)["result"]["achieved_qps"] == 1.0
+        assert reopened.get_spec(shard_a)["result"]["achieved_qps"] == 2.0
+        assert reopened.get_spec(shard_b)["result"]["achieved_qps"] == 3.0
+
+    def test_merge_order_is_deterministic_main_then_sorted_shards(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="dup")
+        # Same spec hash in the main file and two shards: shards merge after
+        # the main file in name-sorted order, so the lexically-last shard wins.
+        store.put(spec, result_dict(achieved_qps=1.0))
+        store.put(spec, result_dict(achieved_qps=3.0), shard="w2")
+        store.put(spec, result_dict(achieved_qps=2.0), shard="w1")
+        reopened = ExperimentStore(tmp_path / "run")
+        assert len(reopened) == 1
+        assert reopened.get_spec(spec)["result"]["achieved_qps"] == 3.0
+        assert [p.name for p in reopened.result_paths()] == [
+            "results.jsonl",
+            "results-w1.jsonl",
+            "results-w2.jsonl",
+        ]
+
+    def test_legacy_single_file_store_reads_unchanged(self, tmp_path):
+        """A store written before sharding existed is just a main file."""
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="legacy")
+        store.put(spec, result_dict())
+        reopened = ExperimentStore(tmp_path / "run")
+        assert reopened.shard_paths() == []
+        assert len(reopened) == 1
+        assert reopened.get_spec(spec) is not None
+
+    def test_truncated_shard_line_is_skipped(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        good = ScenarioSpec(name="good")
+        store.put(good, result_dict(), shard="w1")
+        with open(store.shard_path("w1"), "a", encoding="utf-8") as handle:
+            handle.write('{"spec_hash": "deadbeef", "result": {"achie')
+        reopened = ExperimentStore(tmp_path / "run")
+        assert len(reopened) == 1
+        assert reopened.get("deadbeef") is None
+
+    def test_register_updates_memory_without_touching_disk(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        spec = ScenarioSpec(name="registered")
+        record = store.register(spec, result_dict(), index=1, coords=[("p", 2)])
+        assert store.get_spec(spec) == record
+        assert record["coords"] == [["p", 2]]
+        assert not store.result_paths()
+        assert len(ExperimentStore(tmp_path / "run")) == 0
+
+    def test_invalid_shard_names_are_rejected(self, tmp_path):
+        store = ExperimentStore(tmp_path / "run")
+        for bad in ("", "a/b", "../escape"):
+            try:
+                store.shard_path(bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"shard name {bad!r} was accepted")
